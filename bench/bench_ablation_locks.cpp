@@ -1,0 +1,71 @@
+// Ablation (google-benchmark): lock primitives under contention. The
+// paper notes OpenMP locks carry high overhead and uses CAS busy-wait
+// locks instead (§3.5); this compares CAS spin, ticket, and std::mutex,
+// plus the conditional-lock and pair-lock idioms.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "sync/spinlock.h"
+
+namespace {
+
+using parcore::Spinlock;
+using parcore::TicketLock;
+
+Spinlock g_spin;
+TicketLock g_ticket;
+std::mutex g_mutex;
+long g_counter = 0;
+
+void BM_SpinlockContended(benchmark::State& state) {
+  for (auto _ : state) {
+    g_spin.lock();
+    benchmark::DoNotOptimize(++g_counter);
+    g_spin.unlock();
+  }
+}
+BENCHMARK(BM_SpinlockContended)->Threads(1)->Threads(4)->Threads(16);
+
+void BM_TicketLockContended(benchmark::State& state) {
+  for (auto _ : state) {
+    g_ticket.lock();
+    benchmark::DoNotOptimize(++g_counter);
+    g_ticket.unlock();
+  }
+}
+BENCHMARK(BM_TicketLockContended)->Threads(1)->Threads(4)->Threads(16);
+
+void BM_StdMutexContended(benchmark::State& state) {
+  for (auto _ : state) {
+    g_mutex.lock();
+    benchmark::DoNotOptimize(++g_counter);
+    g_mutex.unlock();
+  }
+}
+BENCHMARK(BM_StdMutexContended)->Threads(1)->Threads(4)->Threads(16);
+
+void BM_ConditionalLock(benchmark::State& state) {
+  Spinlock lock;
+  int core = 5;
+  for (auto _ : state) {
+    if (parcore::lock_if(lock, [&] { return core == 5; })) {
+      benchmark::DoNotOptimize(core);
+      lock.unlock();
+    }
+  }
+}
+BENCHMARK(BM_ConditionalLock);
+
+void BM_PairLock(benchmark::State& state) {
+  static Spinlock a, b;
+  for (auto _ : state) {
+    parcore::lock_pair(a, b);
+    benchmark::DoNotOptimize(&a);
+    b.unlock();
+    a.unlock();
+  }
+}
+BENCHMARK(BM_PairLock)->Threads(1)->Threads(8);
+
+}  // namespace

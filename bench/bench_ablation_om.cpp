@@ -1,0 +1,111 @@
+// Ablation (google-benchmark): Order-Maintenance structure — group
+// capacity sensitivity, the lock-free Order under churn, and snapshot
+// costs that bound the priority queue's refresh path (§5).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+
+#include "om/order_list.h"
+
+namespace {
+
+using parcore::OmItem;
+using parcore::OrderList;
+
+void BM_OmInsertTail(benchmark::State& state) {
+  const auto capacity = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    OrderList list(0, capacity);
+    auto items = std::make_unique<OmItem[]>(10000);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < 10000; ++i) list.insert_tail(&items[i]);
+    benchmark::DoNotOptimize(list.size());
+  }
+}
+BENCHMARK(BM_OmInsertTail)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_OmInsertSamePoint(benchmark::State& state) {
+  // Worst case: all inserts after one anchor — maximum relabel pressure.
+  const auto capacity = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    OrderList list(0, capacity);
+    auto items = std::make_unique<OmItem[]>(10001);
+    list.insert_tail(&items[0]);
+    state.ResumeTiming();
+    for (std::size_t i = 1; i <= 10000; ++i)
+      list.insert_after(&items[0], &items[i]);
+    benchmark::DoNotOptimize(list.relabel_count());
+  }
+}
+BENCHMARK(BM_OmInsertSamePoint)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_OmOrderQuery(benchmark::State& state) {
+  OrderList list(0);
+  auto items = std::make_unique<OmItem[]>(4096);
+  for (std::size_t i = 0; i < 4096; ++i) list.insert_tail(&items[i]);
+  std::size_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OrderList::precedes(&items[i % 4096], &items[(i * 7) % 4096]));
+    ++i;
+  }
+}
+BENCHMARK(BM_OmOrderQuery);
+
+void BM_OmOrderQueryUnderChurn(benchmark::State& state) {
+  // Lock-free Order readers while a writer hammers one insertion point.
+  static OrderList list(0, 32);
+  static auto pinned = std::make_unique<OmItem[]>(2);
+  static bool init = [] {
+    list.insert_tail(&pinned[0]);
+    list.insert_tail(&pinned[1]);
+    return true;
+  }();
+  (void)init;
+
+  if (state.thread_index() == 0) {
+    // writer thread: churn between the pinned items
+    auto churn = std::make_unique<OmItem[]>(100000);
+    std::size_t next = 0;
+    for (auto _ : state) {
+      if (next < 100000) list.insert_after(&pinned[0], &churn[next++]);
+      benchmark::DoNotOptimize(next);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(next));
+  } else {
+    for (auto _ : state)
+      benchmark::DoNotOptimize(OrderList::precedes(&pinned[0], &pinned[1]));
+  }
+}
+BENCHMARK(BM_OmOrderQueryUnderChurn)->Threads(4)->UseRealTime();
+
+void BM_OmSnapshotKey(benchmark::State& state) {
+  OrderList list(0);
+  auto items = std::make_unique<OmItem[]>(1024);
+  for (std::size_t i = 0; i < 1024; ++i) list.insert_tail(&items[i]);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.snapshot_key(&items[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_OmSnapshotKey);
+
+void BM_OmRemoveReinsert(benchmark::State& state) {
+  OrderList list(0);
+  auto items = std::make_unique<OmItem[]>(1024);
+  for (std::size_t i = 0; i < 1024; ++i) list.insert_tail(&items[i]);
+  std::size_t i = 1;
+  for (auto _ : state) {
+    OmItem* it = &items[i % 1023 + 1];
+    list.remove(it);
+    list.insert_after(&items[0], it);
+    ++i;
+  }
+}
+BENCHMARK(BM_OmRemoveReinsert);
+
+}  // namespace

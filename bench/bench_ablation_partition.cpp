@@ -1,0 +1,55 @@
+// Ablation: batch partitioning. The paper's Algorithm 5 splits ΔE into
+// P static contiguous parts; our default hands edges out dynamically
+// from a shared counter. This bench quantifies the difference (dynamic
+// wins when per-edge costs are skewed, e.g. a few edges with large V+).
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace parcore;
+using namespace parcore::bench;
+
+namespace {
+
+AlgoTimes time_with_partition(const PreparedWorkload& w, ThreadTeam& team,
+                              int workers, int reps, bool static_part) {
+  DynamicGraph g = base_graph(w);
+  ParallelOrderMaintainer::Options opts;
+  opts.static_partition = static_part;
+  ParallelOrderMaintainer m(g, team, opts);
+  std::vector<double> ins, rem;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    m.insert_batch(w.batch, workers);
+    ins.push_back(t.elapsed_ms());
+    t.reset();
+    m.remove_batch(w.batch, workers);
+    rem.push_back(t.elapsed_ms());
+  }
+  return AlgoTimes{RunStats::from(ins), RunStats::from(rem)};
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = bench_env();
+  ThreadTeam team(env.max_workers);
+  const int workers = env.max_workers;
+
+  std::printf("== Ablation: static (paper Alg. 5) vs dynamic partition ==\n");
+  std::printf("(scale %.2f, batch ~%zu, %d workers, ms)\n\n", env.scale,
+              env.batch, workers);
+
+  Table table({"graph", "insert static", "insert dynamic", "remove static",
+               "remove dynamic"});
+  for (const SuiteSpec& spec : scalability_suite()) {
+    PreparedWorkload w = prepare_workload(spec, env.scale, env.batch);
+    AlgoTimes st = time_with_partition(w, team, workers, env.reps, true);
+    AlgoTimes dy = time_with_partition(w, team, workers, env.reps, false);
+    table.add_row({spec.name, fmt(st.insert_ms.mean), fmt(dy.insert_ms.mean),
+                   fmt(st.remove_ms.mean), fmt(dy.remove_ms.mean)});
+    std::fflush(stdout);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 5: running-time ratio at 16 workers as the batch grows from
+// 1x to 10x of the base size, over the four scalability graphs. A flat
+// ratio near the batch multiplier = linear scaling in batch size; the
+// paper reports OurI/OurR slightly super-linear ratios vs JE's
+// amortised preprocessing.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace parcore;
+using namespace parcore::bench;
+
+int main() {
+  const BenchEnv env = bench_env();
+  ThreadTeam team(env.max_workers);
+  const int workers = env.max_workers;
+  const std::vector<std::size_t> multipliers{1, 2, 4, 7, 10};
+
+  std::printf("== Figure 5: time ratio vs batch size (16 workers) ==\n");
+  std::printf("(scale %.2f, base batch ~%zu; ratio is time(k x)/time(1x))\n\n",
+              env.scale, env.batch);
+
+  for (const SuiteSpec& spec : scalability_suite()) {
+    std::vector<std::string> headers{"algorithm"};
+    for (std::size_t m : multipliers)
+      headers.push_back(std::to_string(m) + "x");
+    Table table(headers);
+    std::vector<std::string> oi{"OurI"}, orr{"OurR"}, ji{"JEI"}, jr{"JER"};
+
+    double oi1 = 0, or1 = 0, ji1 = 0, jr1 = 0;
+    std::size_t shown_n = 0;
+    for (std::size_t m : multipliers) {
+      PreparedWorkload w =
+          prepare_workload(spec, env.scale, env.batch * m);
+      shown_n = w.n;
+      AlgoTimes ours = time_parallel_order(w, team, workers, env.reps);
+      AlgoTimes je = time_je(w, team, workers, env.reps);
+      if (m == 1) {
+        oi1 = ours.insert_ms.mean;
+        or1 = ours.remove_ms.mean;
+        ji1 = je.insert_ms.mean;
+        jr1 = je.remove_ms.mean;
+      }
+      auto ratio = [](double t, double base) {
+        return base > 0 ? t / base : 0.0;
+      };
+      oi.push_back(fmt(ratio(ours.insert_ms.mean, oi1), 2));
+      orr.push_back(fmt(ratio(ours.remove_ms.mean, or1), 2));
+      ji.push_back(fmt(ratio(je.insert_ms.mean, ji1), 2));
+      jr.push_back(fmt(ratio(je.remove_ms.mean, jr1), 2));
+    }
+    std::printf("-- %s (n=%zu) --\n", spec.name.c_str(), shown_n);
+    table.add_row(oi);
+    table.add_row(orr);
+    table.add_row(ji);
+    table.add_row(jr);
+    table.print();
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 6: stability across disjoint batches (paper: 50 groups of
+// 100k edges; here scaled). Order-based algorithms should show tightly
+// bounded times across groups; Traversal-based insertion (JEI) shows
+// larger fluctuations because |V+|/|V*| varies widely per edge.
+#include <cmath>
+#include <cstdio>
+
+#include "graph/edge_list.h"
+#include "harness.h"
+#include "support/rng.h"
+
+using namespace parcore;
+using namespace parcore::bench;
+
+namespace {
+
+struct Series {
+  std::vector<double> samples;
+
+  void add(double v) { samples.push_back(v); }
+  double mean() const { return RunStats::from(samples).mean; }
+  double cv() const {  // coefficient of variation, %
+    RunStats s = RunStats::from(samples);
+    return s.mean > 0 ? 100.0 * s.stdev / s.mean : 0.0;
+  }
+  double spread() const {  // max/min
+    RunStats s = RunStats::from(samples);
+    return s.min > 0 ? s.max / s.min : 0.0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = bench_env();
+  ThreadTeam team(env.max_workers);
+  const int workers = env.max_workers;
+  const std::size_t groups = env.fast ? 4 : 10;  // paper: 50
+
+  std::printf("== Figure 6: stability over %zu disjoint batches ==\n", groups);
+  std::printf("(scale %.2f, batch ~%zu, %d workers; cv%% = stddev/mean)\n\n",
+              env.scale, env.batch, workers);
+
+  Table table({"graph", "OurI cv%", "OurR cv%", "JEI cv%", "JER cv%",
+               "OurI max/min", "JEI max/min"});
+
+  for (const SuiteSpec& spec : scalability_suite()) {
+    // One big prepared pool split into disjoint groups.
+    PreparedWorkload pool =
+        prepare_workload(spec, env.scale, env.batch * groups);
+    auto parts = split_batches(pool.batch, groups);
+
+    Series oi, orr, ji, jr;
+    {
+      DynamicGraph g = DynamicGraph::from_edges(pool.n, pool.base_edges);
+      ParallelOrderMaintainer m(g, team);
+      for (const auto& part : parts) {
+        WallTimer t;
+        m.insert_batch(part, workers);
+        oi.add(t.elapsed_ms());
+        t.reset();
+        m.remove_batch(part, workers);
+        orr.add(t.elapsed_ms());
+      }
+    }
+    {
+      DynamicGraph g = DynamicGraph::from_edges(pool.n, pool.base_edges);
+      JeMaintainer m(g, team);
+      for (const auto& part : parts) {
+        WallTimer t;
+        m.insert_batch(part, workers);
+        ji.add(t.elapsed_ms());
+        t.reset();
+        m.remove_batch(part, workers);
+        jr.add(t.elapsed_ms());
+      }
+    }
+    table.add_row({spec.name, fmt(oi.cv()), fmt(orr.cv()), fmt(ji.cv()),
+                   fmt(jr.cv()), fmt(oi.spread(), 2), fmt(ji.spread(), 2)});
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf(
+      "\nPaper shape: OurI/OurR/JER well-bounded; JEI fluctuates more "
+      "(Traversal's |V+|/|V*| varies).\n");
+  return 0;
+}

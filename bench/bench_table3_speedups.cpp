@@ -1,0 +1,57 @@
+// Table 3: speedups. Columns 2-5: each algorithm's 16-worker speedup
+// over its own 1-worker run. Columns 6-9: Our vs JE at 1 worker and at
+// 16 workers. Paper headline: OurI up to 289x over JEI at 16 workers
+// (on BA); OurR up to ~10x over JER.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace parcore;
+using namespace parcore::bench;
+
+int main() {
+  const BenchEnv env = bench_env();
+  ThreadTeam team(env.max_workers);
+  const int hi = env.max_workers;
+
+  std::printf("== Table 3: speedups (1 worker vs %d workers) ==\n", hi);
+  std::printf("(scale %.2f, batch ~%zu, reps %d)\n\n", env.scale, env.batch,
+              env.reps);
+
+  Table table({"graph", "OurI 1v16", "OurR 1v16", "JEI 1v16", "JER 1v16",
+               "OurI/JEI @1", "OurR/JER @1", "OurI/JEI @16",
+               "OurR/JER @16"});
+
+  double best_insert_ratio = 0.0, best_remove_ratio = 0.0;
+  for (const SuiteSpec& spec : table2_suite()) {
+    PreparedWorkload w = prepare_workload(spec, env.scale, env.batch);
+    AlgoTimes ours1 = time_parallel_order(w, team, 1, env.reps);
+    AlgoTimes oursN = time_parallel_order(w, team, hi, env.reps);
+    AlgoTimes je1 = time_je(w, team, 1, env.reps);
+    AlgoTimes jeN = time_je(w, team, hi, env.reps);
+
+    auto ratio = [](double a, double b) { return b > 0 ? a / b : 0.0; };
+    const double our_i_self = ratio(ours1.insert_ms.mean, oursN.insert_ms.mean);
+    const double our_r_self = ratio(ours1.remove_ms.mean, oursN.remove_ms.mean);
+    const double je_i_self = ratio(je1.insert_ms.mean, jeN.insert_ms.mean);
+    const double je_r_self = ratio(je1.remove_ms.mean, jeN.remove_ms.mean);
+    const double i_vs_1 = ratio(je1.insert_ms.mean, ours1.insert_ms.mean);
+    const double r_vs_1 = ratio(je1.remove_ms.mean, ours1.remove_ms.mean);
+    const double i_vs_n = ratio(jeN.insert_ms.mean, oursN.insert_ms.mean);
+    const double r_vs_n = ratio(jeN.remove_ms.mean, oursN.remove_ms.mean);
+    best_insert_ratio = std::max(best_insert_ratio, i_vs_n);
+    best_remove_ratio = std::max(best_remove_ratio, r_vs_n);
+
+    table.add_row({spec.name, fmt(our_i_self), fmt(our_r_self),
+                   fmt(je_i_self), fmt(je_r_self), fmt(i_vs_1), fmt(r_vs_1),
+                   fmt(i_vs_n), fmt(r_vs_n)});
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf(
+      "\nBest OurI/JEI speedup at %d workers: %.1fx (paper: up to 289x on "
+      "BA)\nBest OurR/JER speedup at %d workers: %.1fx (paper: up to "
+      "10.6x)\n",
+      hi, best_insert_ratio, hi, best_remove_ratio);
+  return 0;
+}

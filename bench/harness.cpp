@@ -1,0 +1,144 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "graph/edge_list.h"
+#include "support/env.h"
+#include "support/rng.h"
+
+namespace parcore::bench {
+
+BenchEnv bench_env() {
+  BenchEnv env;
+  env.fast = env_flag("PARCORE_BENCH_FAST");
+  env.scale = env_double("PARCORE_BENCH_SCALE", env.fast ? 0.04 : 0.2);
+  env.batch = static_cast<std::size_t>(
+      env_int("PARCORE_BENCH_BATCH", env.fast ? 1000 : 5000));
+  env.reps = static_cast<int>(env_int("PARCORE_BENCH_REPS", 1));
+  env.max_workers = static_cast<int>(env_int("PARCORE_BENCH_MAX_WORKERS", 16));
+  return env;
+}
+
+std::vector<int> worker_sweep(int max_workers) {
+  std::vector<int> sweep;
+  for (int w = 1; w <= max_workers; w *= 2) sweep.push_back(w);
+  if (sweep.empty()) sweep.push_back(1);
+  return sweep;
+}
+
+PreparedWorkload prepare_workload(const SuiteSpec& spec, double scale,
+                                  std::size_t batch_size) {
+  PreparedWorkload w;
+  w.spec = spec;
+  batch_size = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(batch_size) * spec.batch_factor));
+
+  SuiteGraph sg = build_suite_graph(spec, scale);
+  w.n = sg.num_vertices;
+
+  if (!sg.temporal.empty()) {
+    // Temporal protocol (paper §6.2): the batch is a contiguous time
+    // range — the most recent edges of the stream.
+    std::vector<Edge> all;
+    all.reserve(sg.temporal.size());
+    for (const TimestampedEdge& te : sg.temporal) all.push_back(te.e);
+    canonicalize_edges(all);
+    batch_size = std::min(batch_size, all.size() / 2);
+    w.batch.assign(all.end() - static_cast<std::ptrdiff_t>(batch_size),
+                   all.end());
+    w.base_edges.assign(all.begin(),
+                        all.end() - static_cast<std::ptrdiff_t>(batch_size));
+  } else {
+    // Static protocol: sample the batch uniformly from the graph's
+    // edges; the base graph is the remainder.
+    std::vector<Edge> all = sg.edges;
+    canonicalize_edges(all);
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (char c : spec.name) h = h * 131 + static_cast<unsigned>(c);
+    Rng rng(h);
+    rng.shuffle(all);
+    batch_size = std::min(batch_size, all.size() / 2);
+    w.batch.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(
+                                                  batch_size));
+    w.base_edges.assign(all.begin() + static_cast<std::ptrdiff_t>(batch_size),
+                        all.end());
+  }
+  return w;
+}
+
+DynamicGraph base_graph(const PreparedWorkload& w) {
+  return DynamicGraph::from_edges(w.n, w.base_edges);
+}
+
+AlgoTimes time_parallel_order(const PreparedWorkload& w, ThreadTeam& team,
+                              int workers, int reps) {
+  DynamicGraph g = base_graph(w);
+  ParallelOrderMaintainer m(g, team);
+  std::vector<double> ins, rem;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    m.insert_batch(w.batch, workers);
+    ins.push_back(t.elapsed_ms());
+    t.reset();
+    m.remove_batch(w.batch, workers);
+    rem.push_back(t.elapsed_ms());
+  }
+  return AlgoTimes{RunStats::from(ins), RunStats::from(rem)};
+}
+
+AlgoTimes time_je(const PreparedWorkload& w, ThreadTeam& team, int workers,
+                  int reps) {
+  DynamicGraph g = base_graph(w);
+  JeMaintainer m(g, team);
+  std::vector<double> ins, rem;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    m.insert_batch(w.batch, workers);
+    ins.push_back(t.elapsed_ms());
+    t.reset();
+    m.remove_batch(w.batch, workers);
+    rem.push_back(t.elapsed_ms());
+  }
+  return AlgoTimes{RunStats::from(ins), RunStats::from(rem)};
+}
+
+Table::Table(std::vector<std::string> headers) {
+  rows_.push_back(std::move(headers));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  ";
+    for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+         << rows_[r][i];
+    }
+    os << "\n";
+    if (r == 0) {
+      os << "  ";
+      for (std::size_t i = 0; i < widths.size(); ++i)
+        os << std::string(widths[i], '-') << "  ";
+      os << "\n";
+    }
+  }
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace parcore::bench

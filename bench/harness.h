@@ -1,0 +1,82 @@
+// Shared benchmark harness: environment knobs, workload preparation
+// (the paper's remove-then-reinsert protocol), algorithm timers and a
+// fixed-width table printer.
+//
+// Environment variables:
+//   PARCORE_BENCH_SCALE    graph scale factor (default 0.2; paper ~1.0
+//                          would be the full stand-in sizes)
+//   PARCORE_BENCH_BATCH    base batch size (default 5000)
+//   PARCORE_BENCH_REPS     repetitions per measurement (default 1;
+//                          paper uses 50)
+//   PARCORE_BENCH_MAX_WORKERS  top of the worker sweep (default 16)
+//   PARCORE_BENCH_FAST     set to 1 for a quick smoke run
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline/je.h"
+#include "gen/suite.h"
+#include "graph/dynamic_graph.h"
+#include "parallel/parallel_order.h"
+#include "support/timer.h"
+#include "sync/thread_team.h"
+
+namespace parcore::bench {
+
+struct BenchEnv {
+  double scale = 0.2;
+  std::size_t batch = 5000;
+  int reps = 1;
+  int max_workers = 16;
+  bool fast = false;
+};
+
+BenchEnv bench_env();
+
+/// Worker sweep 1,2,4,...,max (paper Fig. 4 uses 1..64; we default 16).
+std::vector<int> worker_sweep(int max_workers);
+
+/// A suite graph prepared for the evaluation protocol: `base` is the
+/// graph with the batch removed; inserting `batch` then removing it
+/// returns to `base` (so repetitions and algorithms see identical work).
+struct PreparedWorkload {
+  SuiteSpec spec;
+  std::size_t n = 0;
+  std::vector<Edge> base_edges;
+  std::vector<Edge> batch;
+};
+
+PreparedWorkload prepare_workload(const SuiteSpec& spec, double scale,
+                                  std::size_t batch_size);
+
+DynamicGraph base_graph(const PreparedWorkload& w);
+
+struct AlgoTimes {
+  RunStats insert_ms;
+  RunStats remove_ms;
+};
+
+/// Times OurI/OurR on the prepared workload.
+AlgoTimes time_parallel_order(const PreparedWorkload& w, ThreadTeam& team,
+                              int workers, int reps);
+
+/// Times JEI/JER on the prepared workload.
+AlgoTimes time_je(const PreparedWorkload& w, ThreadTeam& team, int workers,
+                  int reps);
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double value, int precision = 1);
+
+}  // namespace parcore::bench

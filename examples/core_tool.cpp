@@ -1,0 +1,139 @@
+// core_tool: command-line core maintenance over edge-list files.
+//
+// Usage:
+//   core_tool <graph.txt> [workers]
+//
+// Reads a SNAP-style edge list ("u v" per line, '#' comments), builds
+// the graph, then executes commands from stdin:
+//
+//   insert <u> <v>        insert one edge
+//   remove <u> <v>        remove one edge
+//   batch-insert <file>   insert an edge-list file as one parallel batch
+//   batch-remove <file>   remove an edge-list file as one parallel batch
+//   core <v>              print a vertex's core number
+//   top <k>               print the k highest-coreness vertices
+//   stats                 graph + core summary
+//   verify                recompute from scratch and compare
+//   quit
+//
+// Example:
+//   printf 'stats\ntop 5\nverify\nquit\n' | ./core_tool graph.txt 8
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "parcore.h"
+
+using namespace parcore;
+
+namespace {
+
+void print_stats(const DynamicGraph& g, const ParallelOrderMaintainer& m) {
+  CoreSummary s = summarize_cores(m.cores());
+  std::printf("n=%zu m=%zu avg_deg=%.2f max_core=%d degeneracy_core=%zu\n",
+              g.num_vertices(), g.num_edges(), g.average_degree(),
+              s.max_core, s.degeneracy_core_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <graph.txt> [workers]\n", argv[0]);
+    return 2;
+  }
+  const int workers = argc >= 3 ? std::atoi(argv[2]) : 8;
+
+  EdgeListData data;
+  try {
+    data = load_edge_list(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(data.edges.size());
+  for (const TimestampedEdge& te : data.edges) edges.push_back(te.e);
+  DynamicGraph graph = DynamicGraph::from_edges(data.num_vertices, edges);
+
+  ThreadTeam team(workers);
+  ParallelOrderMaintainer maintainer(graph, team);
+  std::printf("loaded %s: ", argv[1]);
+  print_stats(graph, maintainer);
+
+  char line[512];
+  while (std::fgets(line, sizeof line, stdin) != nullptr) {
+    char cmd[32] = {0};
+    unsigned long a = 0, b = 0;
+    char arg[256] = {0};
+    if (std::sscanf(line, "%31s", cmd) != 1) continue;
+
+    if (std::strcmp(cmd, "quit") == 0) break;
+    if (std::strcmp(cmd, "insert") == 0 &&
+        std::sscanf(line, "%*s %lu %lu", &a, &b) == 2) {
+      WallTimer t;
+      bool ok = maintainer.insert_edge(static_cast<VertexId>(a),
+                                       static_cast<VertexId>(b));
+      std::printf("%s (%.3f ms)\n", ok ? "inserted" : "skipped",
+                  t.elapsed_ms());
+    } else if (std::strcmp(cmd, "remove") == 0 &&
+               std::sscanf(line, "%*s %lu %lu", &a, &b) == 2) {
+      WallTimer t;
+      bool ok = maintainer.remove_edge(static_cast<VertexId>(a),
+                                       static_cast<VertexId>(b));
+      std::printf("%s (%.3f ms)\n", ok ? "removed" : "skipped",
+                  t.elapsed_ms());
+    } else if ((std::strcmp(cmd, "batch-insert") == 0 ||
+                std::strcmp(cmd, "batch-remove") == 0) &&
+               std::sscanf(line, "%*s %255s", arg) == 1) {
+      try {
+        EdgeListData batch_data = load_edge_list(arg);
+        std::vector<Edge> batch;
+        for (const TimestampedEdge& te : batch_data.edges)
+          batch.push_back(te.e);
+        WallTimer t;
+        BatchResult r = std::strcmp(cmd, "batch-insert") == 0
+                            ? maintainer.insert_batch(batch, workers)
+                            : maintainer.remove_batch(batch, workers);
+        std::printf("applied %zu, skipped %zu (%.2f ms, %d workers)\n",
+                    r.applied, r.skipped, t.elapsed_ms(), workers);
+      } catch (const std::exception& e) {
+        std::printf("error: %s\n", e.what());
+      }
+    } else if (std::strcmp(cmd, "core") == 0 &&
+               std::sscanf(line, "%*s %lu", &a) == 1) {
+      if (a < graph.num_vertices())
+        std::printf("core(%lu) = %d\n", a,
+                    maintainer.core(static_cast<VertexId>(a)));
+      else
+        std::printf("vertex out of range\n");
+    } else if (std::strcmp(cmd, "top") == 0 &&
+               std::sscanf(line, "%*s %lu", &a) == 1) {
+      auto cores = maintainer.cores();
+      std::vector<VertexId> ids(cores.size());
+      for (VertexId v = 0; v < ids.size(); ++v) ids[v] = v;
+      const std::size_t count =
+          std::min<std::size_t>(a, ids.size());
+      std::partial_sort(ids.begin(),
+                        ids.begin() + static_cast<std::ptrdiff_t>(count),
+                        ids.end(), [&](VertexId x, VertexId y) {
+                          return cores[x] > cores[y];
+                        });
+      for (std::size_t i = 0; i < count; ++i)
+        std::printf("  %u: core %d\n", ids[i], cores[ids[i]]);
+    } else if (std::strcmp(cmd, "stats") == 0) {
+      print_stats(graph, maintainer);
+    } else if (std::strcmp(cmd, "verify") == 0) {
+      WallTimer t;
+      std::string err;
+      bool ok = verify_cores(graph, maintainer.cores(), &err);
+      std::printf("%s (%.2f ms)%s%s\n", ok ? "OK" : "MISMATCH",
+                  t.elapsed_ms(), ok ? "" : ": ", ok ? "" : err.c_str());
+    } else {
+      std::printf(
+          "commands: insert u v | remove u v | batch-insert f | "
+          "batch-remove f | core v | top k | stats | verify | quit\n");
+    }
+  }
+  return 0;
+}

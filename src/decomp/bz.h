@@ -1,0 +1,37 @@
+// BZ core decomposition (paper Algorithm 1, Batagelj–Zaveršnik): linear
+// O(n + m) bucket peeling producing both core numbers and the peel
+// order, which *defines* the k-order the maintainers start from
+// (Definition 3.5).
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/rng.h"
+#include "support/types.h"
+
+namespace parcore {
+
+struct Decomposition {
+  std::vector<CoreValue> core;
+  /// Vertices in peel order (a valid k-order instance: non-decreasing
+  /// core numbers; within one core value, BZ dequeue order).
+  std::vector<VertexId> peel_order;
+  CoreValue max_core = 0;
+};
+
+/// Classic array-based BZ: buckets by current degree, vertices initially
+/// sorted by degree, O(n + m). Ties resolve toward small initial degree
+/// ("small degree first", the strategy the paper selects in §3.3.1).
+Decomposition bz_decompose(const DynamicGraph& g);
+
+/// Tie-break strategies for dequeuing equal-degree vertices (§3.3.1).
+enum class PeelTie { kSmallDegreeFirst, kLargeDegreeFirst, kRandom };
+
+/// Heap-based BZ variant with an explicit tie policy; O(m log n). Used by
+/// the tie-policy ablation; produces the same core numbers, different
+/// k-order instances.
+Decomposition bz_decompose_with_policy(const DynamicGraph& g, PeelTie policy,
+                                       Rng* rng = nullptr);
+
+}  // namespace parcore

@@ -1,0 +1,137 @@
+#include "decomp/core_query.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace parcore {
+
+std::vector<VertexId> k_core_members(const std::vector<CoreValue>& cores,
+                                     CoreValue k) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < cores.size(); ++v)
+    if (cores[v] >= k) out.push_back(v);
+  return out;
+}
+
+CoreSummary summarize_cores(const std::vector<CoreValue>& cores) {
+  CoreSummary s;
+  for (CoreValue c : cores) s.max_core = std::max(s.max_core, c);
+  s.histogram.assign(static_cast<std::size_t>(s.max_core) + 1, 0);
+  for (CoreValue c : cores) ++s.histogram[static_cast<std::size_t>(c)];
+  s.degeneracy_core_size =
+      s.histogram[static_cast<std::size_t>(s.max_core)];
+  return s;
+}
+
+std::vector<VertexId> subcore_of(const DynamicGraph& g,
+                                 const std::vector<CoreValue>& cores,
+                                 VertexId u) {
+  std::vector<VertexId> out;
+  if (u >= g.num_vertices()) return out;
+  const CoreValue k = cores[u];
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<VertexId> queue{u};
+  seen[u] = true;
+  while (!queue.empty()) {
+    const VertexId w = queue.front();
+    queue.pop_front();
+    out.push_back(w);
+    for (VertexId x : g.neighbors(w)) {
+      if (!seen[x] && cores[x] == k) {
+        seen[x] = true;
+        queue.push_back(x);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<VertexId>> all_subcores(
+    const DynamicGraph& g, const std::vector<CoreValue>& cores) {
+  std::vector<std::vector<VertexId>> out;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+    if (seen[root]) continue;
+    const CoreValue k = cores[root];
+    seen[root] = true;
+    queue.clear();
+    queue.push_back(root);
+    std::vector<VertexId> comp;
+    while (!queue.empty()) {
+      const VertexId w = queue.front();
+      queue.pop_front();
+      comp.push_back(w);
+      for (VertexId x : g.neighbors(w)) {
+        if (!seen[x] && cores[x] == k) {
+          seen[x] = true;
+          queue.push_back(x);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+std::vector<VertexId> degeneracy_order(const std::vector<CoreValue>& cores) {
+  std::vector<VertexId> order(cores.size());
+  for (VertexId v = 0; v < cores.size(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return cores[a] < cores[b];
+  });
+  return order;
+}
+
+Coloring degeneracy_coloring(const DynamicGraph& g,
+                             const std::vector<CoreValue>& cores) {
+  Coloring result;
+  const std::size_t n = g.num_vertices();
+  result.color.assign(n, 0);
+  if (n == 0) return result;
+
+  // Colour in REVERSE degeneracy order: when v is coloured, at most
+  // core(v) <= degeneracy of its neighbours are already coloured.
+  std::vector<VertexId> order = degeneracy_order(cores);
+  std::vector<bool> colored(n, false);
+  std::vector<std::uint32_t> used;  // scratch: colours seen at v
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId v = *it;
+    used.clear();
+    for (VertexId u : g.neighbors(v))
+      if (colored[u]) used.push_back(result.color[u]);
+    std::sort(used.begin(), used.end());
+    std::uint32_t c = 0;
+    for (std::uint32_t taken : used) {
+      if (taken > c) break;
+      if (taken == c) ++c;
+    }
+    result.color[v] = c;
+    colored[v] = true;
+    result.colors_used = std::max(result.colors_used, c + 1);
+  }
+  return result;
+}
+
+DynamicGraph k_core_subgraph(const DynamicGraph& g,
+                             const std::vector<CoreValue>& cores, CoreValue k,
+                             std::vector<VertexId>* mapping) {
+  std::vector<VertexId> map(g.num_vertices(), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (cores[v] >= k) map[v] = next++;
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (map[v] == kInvalidVertex) continue;
+    for (VertexId u : g.neighbors(v))
+      if (v < u && map[u] != kInvalidVertex)
+        edges.push_back(Edge{map[v], map[u]});
+  }
+  DynamicGraph sub = DynamicGraph::from_edges(next, edges);
+  if (mapping != nullptr) *mapping = std::move(map);
+  return sub;
+}
+
+}  // namespace parcore

@@ -1,0 +1,62 @@
+// Queries over a core decomposition: k-core membership, connected
+// k-subcores (Definition 3.3 — the traversal scope of the classic
+// algorithms), degeneracy ordering and core-number distributions.
+// These are the downstream consumers the paper's applications (§1)
+// rely on: dense-region extraction, super-spreader identification,
+// hierarchy inspection.
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/types.h"
+
+namespace parcore {
+
+/// Vertices with core number >= k (members of the k-core).
+std::vector<VertexId> k_core_members(const std::vector<CoreValue>& cores,
+                                     CoreValue k);
+
+/// The maximal core value and its vertex count.
+struct CoreSummary {
+  CoreValue max_core = 0;
+  std::size_t degeneracy_core_size = 0;  // |{v : core(v) == max_core}|
+  std::vector<std::size_t> histogram;    // count per core value
+};
+CoreSummary summarize_cores(const std::vector<CoreValue>& cores);
+
+/// The k-subcore containing u (Definition 3.3): the maximal connected
+/// set of vertices with core number == core(u) reachable from u.
+/// Returns empty if u is out of range.
+std::vector<VertexId> subcore_of(const DynamicGraph& g,
+                                 const std::vector<CoreValue>& cores,
+                                 VertexId u);
+
+/// All k-subcores of the graph, as (representative-sorted) vertex lists.
+std::vector<std::vector<VertexId>> all_subcores(
+    const DynamicGraph& g, const std::vector<CoreValue>& cores);
+
+/// A degeneracy ordering (reverse of any valid peel order restricted to
+/// ties by core): vertices sorted by (core, id). Greedy colouring along
+/// this order uses at most degeneracy+1 colours — a cheap sanity anchor
+/// used by tests.
+std::vector<VertexId> degeneracy_order(const std::vector<CoreValue>& cores);
+
+/// Induced subgraph of the k-core, with vertex ids compacted; `mapping`
+/// (optional) receives old-id -> new-id (kInvalidVertex if dropped).
+DynamicGraph k_core_subgraph(const DynamicGraph& g,
+                             const std::vector<CoreValue>& cores, CoreValue k,
+                             std::vector<VertexId>* mapping = nullptr);
+
+/// Greedy colouring along the reverse degeneracy order — the classic
+/// application of core decomposition: uses at most degeneracy+1
+/// (= max core + 1) colours. Returns per-vertex colours in
+/// [0, colours_used).
+struct Coloring {
+  std::vector<std::uint32_t> color;
+  std::uint32_t colors_used = 0;
+};
+Coloring degeneracy_coloring(const DynamicGraph& g,
+                             const std::vector<CoreValue>& cores);
+
+}  // namespace parcore

@@ -1,0 +1,79 @@
+#include "decomp/park.h"
+
+#include <atomic>
+#include <memory>
+
+namespace parcore {
+
+std::vector<CoreValue> park_decompose(const DynamicGraph& g, ThreadTeam& team,
+                                      int workers) {
+  const std::size_t n = g.num_vertices();
+  std::vector<CoreValue> core(n, 0);
+  if (n == 0) return core;
+
+  auto deg = std::make_unique<std::atomic<std::int64_t>[]>(n);
+  for (VertexId v = 0; v < n; ++v)
+    deg[v].store(static_cast<std::int64_t>(g.degree(v)),
+                 std::memory_order_relaxed);
+
+  std::atomic<std::size_t> processed{0};
+  std::vector<VertexId> frontier;
+  frontier.reserve(n);
+  std::vector<std::vector<VertexId>> local_next(
+      static_cast<std::size_t>(team.max_workers()));
+
+  CoreValue level = 0;
+  while (processed.load(std::memory_order_relaxed) < n) {
+    // Build the level's initial frontier: all unprocessed v with
+    // deg <= level. (deg is set to -1 once claimed.)
+    frontier.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      const std::int64_t dv = deg[v].load(std::memory_order_relaxed);
+      if (dv >= 0 && dv <= level) frontier.push_back(v);
+    }
+
+    while (!frontier.empty()) {
+      std::atomic<std::size_t> next_index{0};
+      team.run(workers, [&](int w) {
+        auto& next = local_next[static_cast<std::size_t>(w)];
+        next.clear();
+        for (;;) {
+          const std::size_t i =
+              next_index.fetch_add(1, std::memory_order_relaxed);
+          if (i >= frontier.size()) break;
+          const VertexId v = frontier[i];
+          // Claim v: deg -> -1. May race with nothing (v appears once in
+          // the frontier), but guard anyway for the scan/cascade overlap.
+          std::int64_t dv = deg[v].load(std::memory_order_relaxed);
+          if (dv < 0) continue;
+          if (!deg[v].compare_exchange_strong(dv, -1,
+                                              std::memory_order_acq_rel))
+            continue;
+          core[v] = level;
+          processed.fetch_add(1, std::memory_order_relaxed);
+          for (VertexId u : g.neighbors(v)) {
+            // Decrement deg[u] unless it is already <= level or claimed.
+            std::int64_t du = deg[u].load(std::memory_order_relaxed);
+            for (;;) {
+              if (du <= level) break;  // claimed (-1) or already peelable
+              if (deg[u].compare_exchange_weak(du, du - 1,
+                                               std::memory_order_acq_rel)) {
+                if (du - 1 == level) next.push_back(u);
+                break;
+              }
+            }
+          }
+        }
+      });
+      frontier.clear();
+      for (auto& next : local_next) {
+        frontier.insert(frontier.end(), next.begin(), next.end());
+        next.clear();
+      }
+    }
+    ++level;
+  }
+  return core;
+}
+
+}  // namespace parcore

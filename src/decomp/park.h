@@ -1,0 +1,19 @@
+// ParK / PKC-style parallel static core decomposition (paper §2.1,
+// Dasari et al. / Kabir & Madduri): level-synchronous peeling with
+// atomic degree decrements. Used to initialise large graphs faster than
+// sequential BZ and as a decomposition ablation. Produces core numbers
+// only (no deterministic peel order).
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/types.h"
+#include "sync/thread_team.h"
+
+namespace parcore {
+
+std::vector<CoreValue> park_decompose(const DynamicGraph& g, ThreadTeam& team,
+                                      int workers);
+
+}  // namespace parcore

@@ -1,0 +1,38 @@
+// Static k-truss decomposition. The paper's conclusion (§7) singles out
+// k-truss maintenance as the next target for the parallel order-based
+// methodology; this module provides the static decomposition substrate
+// (edge trussness via support peeling) plus a brute-force oracle.
+//
+// Definitions: the k-truss is the maximal subgraph in which every edge
+// participates in at least k-2 triangles; the trussness of an edge is
+// the largest k for which it is in the k-truss (>= 2 for every edge).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/types.h"
+
+namespace parcore {
+
+struct TrussDecomposition {
+  std::vector<Edge> edges;           // canonical (u < v)
+  std::vector<CoreValue> trussness;  // parallel to edges
+  CoreValue max_truss = 0;           // 0 for an empty graph
+
+  /// Trussness of a specific edge, or 0 if absent.
+  CoreValue of(Edge e) const;
+
+  std::unordered_map<std::uint64_t, std::size_t> index;  // edge_key -> idx
+};
+
+/// Bucket-peeling truss decomposition: O(sum of deg(u)*deg(v) over
+/// edges) support counting + linear peeling.
+TrussDecomposition truss_decompose(const DynamicGraph& g);
+
+/// Brute-force oracle: iteratively deletes edges with support < k-2 per
+/// k level. For tests only.
+TrussDecomposition brute_force_truss(const DynamicGraph& g);
+
+}  // namespace parcore

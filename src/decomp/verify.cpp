@@ -1,0 +1,79 @@
+#include "decomp/verify.h"
+
+#include <deque>
+#include <sstream>
+
+namespace parcore {
+
+std::vector<CoreValue> brute_force_cores(const DynamicGraph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<CoreValue> core(n, 0);
+  std::vector<std::int64_t> deg(n);
+  std::vector<bool> alive(n, true);
+  std::size_t remaining = n;
+  for (VertexId v = 0; v < n; ++v) deg[v] = static_cast<std::int64_t>(g.degree(v));
+
+  CoreValue k = 0;
+  std::deque<VertexId> queue;
+  while (remaining > 0) {
+    for (VertexId v = 0; v < n; ++v)
+      if (alive[v] && deg[v] <= k) queue.push_back(v);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      if (!alive[v]) continue;
+      alive[v] = false;
+      core[v] = k;
+      --remaining;
+      for (VertexId u : g.neighbors(v)) {
+        if (alive[u] && --deg[u] <= k) queue.push_back(u);
+      }
+    }
+    ++k;
+  }
+  return core;
+}
+
+bool verify_cores(const DynamicGraph& g, const std::vector<CoreValue>& cores,
+                  std::string* error) {
+  const std::vector<CoreValue> truth = brute_force_cores(g);
+  if (cores.size() != truth.size()) {
+    if (error) *error = "core vector size mismatch";
+    return false;
+  }
+  for (VertexId v = 0; v < truth.size(); ++v) {
+    if (cores[v] != truth[v]) {
+      if (error) {
+        std::ostringstream os;
+        os << "vertex " << v << ": core " << cores[v] << ", expected "
+           << truth[v];
+        *error = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool verify_korder_bound(const DynamicGraph& g,
+                         const std::vector<CoreValue>& cores,
+                         const std::vector<std::size_t>& rank,
+                         std::string* error) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::int64_t after = 0;
+    for (VertexId u : g.neighbors(v))
+      if (rank[v] < rank[u]) ++after;
+    if (after > cores[v]) {
+      if (error) {
+        std::ostringstream os;
+        os << "vertex " << v << ": " << after
+           << " neighbours after it in k-order but core is " << cores[v];
+        *error = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parcore

@@ -1,0 +1,30 @@
+// Independent correctness oracles for core numbers and k-orders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/types.h"
+
+namespace parcore {
+
+/// Core numbers by definition-level iterative peeling — deliberately a
+/// different implementation from bz_decompose, used as the differential
+/// testing oracle.
+std::vector<CoreValue> brute_force_cores(const DynamicGraph& g);
+
+/// True iff `cores` equals a fresh brute-force decomposition.
+bool verify_cores(const DynamicGraph& g, const std::vector<CoreValue>& cores,
+                  std::string* error = nullptr);
+
+/// Necessary condition for any valid k-order (see DESIGN.md §5): with
+/// correct cores, every vertex v must satisfy
+///   |{u in adj(v) : v precedes u}| <= core(v).
+/// `rank` maps vertex -> global order position.
+bool verify_korder_bound(const DynamicGraph& g,
+                         const std::vector<CoreValue>& cores,
+                         const std::vector<std::size_t>& rank,
+                         std::string* error = nullptr);
+
+}  // namespace parcore

@@ -1,0 +1,184 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace parcore {
+namespace {
+
+/// Tracks distinct undirected edges during generation.
+class EdgeDedup {
+ public:
+  explicit EdgeDedup(std::size_t expected) { seen_.reserve(expected * 2); }
+
+  bool add(VertexId u, VertexId v) {
+    if (u == v) return false;
+    return seen_.insert(edge_key(Edge{u, v})).second;
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace
+
+std::vector<Edge> gen_erdos_renyi(std::size_t n, std::size_t m, Rng& rng) {
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  EdgeDedup dedup(m);
+  const std::size_t max_edges = n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  while (edges.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.bounded(n));
+    VertexId v = static_cast<VertexId>(rng.bounded(n));
+    if (dedup.add(u, v)) edges.push_back(Edge{u, v});
+  }
+  return edges;
+}
+
+std::vector<Edge> gen_barabasi_albert(std::size_t n, std::size_t k, Rng& rng) {
+  // Standard "repeated endpoints" implementation: targets are drawn from
+  // a pool that contains every endpoint of every prior edge, which is
+  // exactly degree-proportional sampling.
+  std::vector<Edge> edges;
+  if (n < 2 || k == 0) return edges;
+  k = std::min(k, n - 1);
+  edges.reserve(n * k);
+  EdgeDedup dedup(n * k);
+  std::vector<VertexId> pool;
+  pool.reserve(2 * n * k);
+
+  // Seed: a (k+1)-clique so early vertices have enough targets.
+  const std::size_t seed = std::min(n, k + 1);
+  for (VertexId u = 0; u < seed; ++u)
+    for (VertexId v = u + 1; v < seed; ++v) {
+      if (dedup.add(u, v)) {
+        edges.push_back(Edge{u, v});
+        pool.push_back(u);
+        pool.push_back(v);
+      }
+    }
+
+  for (VertexId u = static_cast<VertexId>(seed); u < n; ++u) {
+    std::size_t attached = 0;
+    std::size_t attempts = 0;
+    while (attached < k && attempts < 32 * k) {
+      ++attempts;
+      VertexId v = pool[rng.bounded(pool.size())];
+      if (dedup.add(u, v)) {
+        edges.push_back(Edge{u, v});
+        pool.push_back(u);
+        pool.push_back(v);
+        ++attached;
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> gen_rmat(unsigned scale, std::size_t m, RmatParams p,
+                           Rng& rng) {
+  const std::size_t n = static_cast<std::size_t>(1) << scale;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  EdgeDedup dedup(m);
+  const double ab = p.a + p.b;
+  const double abc = p.a + p.b + p.c;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = m * 16;
+  while (edges.size() < m && attempts < max_attempts) {
+    ++attempts;
+    std::size_t u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.real();
+      u <<= 1;
+      v <<= 1;
+      if (r < p.a) {
+        // top-left quadrant
+      } else if (r < ab) {
+        v |= 1;
+      } else if (r < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (dedup.add(static_cast<VertexId>(u), static_cast<VertexId>(v)))
+      edges.push_back(
+          Edge{static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  (void)n;
+  return edges;
+}
+
+std::vector<Edge> gen_grid(std::size_t rows, std::size_t cols,
+                           double keep_prob, double diag_prob, Rng& rng) {
+  std::vector<Edge> edges;
+  edges.reserve(rows * cols * 2);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && rng.chance(keep_prob))
+        edges.push_back(Edge{id(r, c), id(r, c + 1)});
+      if (r + 1 < rows && rng.chance(keep_prob))
+        edges.push_back(Edge{id(r, c), id(r + 1, c)});
+      if (r + 1 < rows && c + 1 < cols && rng.chance(diag_prob))
+        edges.push_back(Edge{id(r, c), id(r + 1, c + 1)});
+    }
+  return edges;
+}
+
+std::vector<TimestampedEdge> gen_temporal_ba(std::size_t n, std::size_t k,
+                                             Rng& rng) {
+  std::vector<Edge> base = gen_barabasi_albert(n, k, rng);
+  std::vector<TimestampedEdge> out;
+  out.reserve(base.size());
+  std::uint64_t t = 0;
+  for (const Edge& e : base) {
+    t += 1 + rng.bounded(3);  // strictly increasing, jittered
+    out.push_back(TimestampedEdge{e, t});
+  }
+  return out;
+}
+
+std::vector<TimestampedEdge> gen_temporal_rmat(unsigned scale, std::size_t m,
+                                               RmatParams p, Rng& rng) {
+  std::vector<Edge> base = gen_rmat(scale, m, p, rng);
+  std::vector<TimestampedEdge> out;
+  out.reserve(base.size());
+  std::uint64_t t = 0;
+  for (const Edge& e : base) {
+    t += 1 + rng.bounded(3);
+    out.push_back(TimestampedEdge{e, t});
+  }
+  return out;
+}
+
+std::vector<Edge> gen_clique(std::size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  return edges;
+}
+
+std::vector<Edge> gen_cycle(std::size_t n) {
+  std::vector<Edge> edges;
+  if (n < 3) return edges;
+  edges.reserve(n);
+  for (VertexId u = 0; u < n; ++u)
+    edges.push_back(Edge{u, static_cast<VertexId>((u + 1) % n)});
+  return edges;
+}
+
+std::vector<Edge> gen_star(std::size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 1; v < n; ++v) edges.push_back(Edge{0, v});
+  return edges;
+}
+
+}  // namespace parcore

@@ -1,0 +1,58 @@
+// Synthetic graph generators covering the evaluation graph families of
+// the paper (§6.2): Erdős–Rényi (ER), Barabási–Albert (BA), R-MAT, a
+// perturbed 2-D grid (road-network stand-in), and temporal streams.
+// All generators are deterministic given the Rng seed and emit
+// self-loop-free, duplicate-free undirected edges.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/types.h"
+
+namespace parcore {
+
+/// G(n, m): m distinct uniform random edges.
+std::vector<Edge> gen_erdos_renyi(std::size_t n, std::size_t m, Rng& rng);
+
+/// Preferential attachment: each new vertex attaches `k` edges to
+/// existing vertices chosen proportionally to degree. Produces the
+/// paper's pathological single-core-value graph when k divides evenly.
+std::vector<Edge> gen_barabasi_albert(std::size_t n, std::size_t k, Rng& rng);
+
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+};
+
+/// R-MAT over 2^scale vertices aiming for m distinct edges (slightly
+/// fewer if duplicates/self-loops dominate after max attempts).
+std::vector<Edge> gen_rmat(unsigned scale, std::size_t m, RmatParams p,
+                           Rng& rng);
+
+/// rows x cols grid where each lattice edge survives with `keep_prob`
+/// and diagonals appear with `diag_prob`; road-network stand-in (max
+/// core <= 3 like roadNet-CA).
+std::vector<Edge> gen_grid(std::size_t rows, std::size_t cols,
+                           double keep_prob, double diag_prob, Rng& rng);
+
+/// Temporal preferential-attachment stream: edges carry strictly
+/// increasing timestamps, modelling KONECT temporal graphs where a batch
+/// is a contiguous time range.
+std::vector<TimestampedEdge> gen_temporal_ba(std::size_t n, std::size_t k,
+                                             Rng& rng);
+
+/// Temporal R-MAT stream (timestamps = arrival order).
+std::vector<TimestampedEdge> gen_temporal_rmat(unsigned scale, std::size_t m,
+                                               RmatParams p, Rng& rng);
+
+/// Complete graph on n vertices (test helper; core = n-1 everywhere).
+std::vector<Edge> gen_clique(std::size_t n);
+
+/// Cycle on n vertices (core = 2 everywhere).
+std::vector<Edge> gen_cycle(std::size_t n);
+
+/// Star with n-1 leaves (core = 1 everywhere).
+std::vector<Edge> gen_star(std::size_t n);
+
+}  // namespace parcore

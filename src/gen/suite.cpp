@@ -1,0 +1,247 @@
+#include "gen/suite.h"
+
+#include <cmath>
+
+#include "gen/generators.h"
+
+namespace parcore {
+namespace {
+
+SuiteSpec rmat_spec(std::string name, std::size_t n, std::size_t m,
+                    RmatParams p, std::size_t pn, std::size_t pm, double pad,
+                    int pk) {
+  SuiteSpec s;
+  s.name = std::move(name);
+  s.family = SuiteFamily::kRmat;
+  s.n = n;
+  s.m = m;
+  s.rmat = p;
+  s.paper_n = pn;
+  s.paper_m = pm;
+  s.paper_avgdeg = pad;
+  s.paper_maxk = pk;
+  return s;
+}
+
+unsigned scale_to_rmat_bits(std::size_t n) {
+  unsigned bits = 1;
+  while ((static_cast<std::size_t>(1) << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+std::vector<SuiteSpec> table2_suite() {
+  std::vector<SuiteSpec> suite;
+
+  // Heavy-tailed social / hyperlink graphs -> R-MAT with matched skew.
+  suite.push_back(rmat_spec("livej", 120'000, 1'700'000,
+                            RmatParams{0.57, 0.19, 0.19}, 4'847'571,
+                            68'993'773, 14.23, 372));
+  {
+    SuiteSpec s;  // patent: sparse citation graph -> ER
+    s.name = "patent";
+    s.family = SuiteFamily::kEr;
+    s.n = 200'000;
+    s.m = 550'000;
+    s.paper_n = 6'009'555;
+    s.paper_m = 16'518'948;
+    s.paper_avgdeg = 2.75;
+    s.paper_maxk = 64;
+    suite.push_back(s);
+  }
+  suite.push_back(rmat_spec("wikitalk", 150'000, 315'000,
+                            RmatParams{0.65, 0.15, 0.15}, 2'394'385,
+                            5'021'410, 2.10, 131));
+  {
+    SuiteSpec s;  // roadNet-CA -> perturbed grid
+    s.name = "roadNet-CA";
+    s.family = SuiteFamily::kGrid;
+    s.n = 200'704;  // 448 x 448
+    s.m = 0;        // determined by keep/diag probabilities
+    s.grid_keep = 0.93;
+    s.grid_diag = 0.06;
+    s.paper_n = 1'971'281;
+    s.paper_m = 5'533'214;
+    s.paper_avgdeg = 2.81;
+    s.paper_maxk = 3;
+    s.batch_factor = 0.5;
+    suite.push_back(s);
+  }
+  suite.push_back(rmat_spec("dbpedia", 180'000, 630'000,
+                            RmatParams{0.6, 0.17, 0.17}, 3'966'925,
+                            13'820'853, 3.48, 20));
+  suite.push_back(rmat_spec("baidu", 130'000, 1'080'000,
+                            RmatParams{0.57, 0.19, 0.19}, 2'141'301,
+                            17'794'839, 8.31, 78));
+  suite.push_back(rmat_spec("pokec", 100'000, 1'870'000,
+                            RmatParams{0.45, 0.22, 0.22}, 1'632'804,
+                            30'622'564, 18.75, 47));
+  suite.push_back(rmat_spec("wiki-talk-en", 150'000, 1'250'000,
+                            RmatParams{0.62, 0.17, 0.17}, 2'987'536,
+                            24'981'163, 8.36, 210));
+  suite.push_back(rmat_spec("wiki-links-en", 200'000, 2'300'000,
+                            RmatParams{0.57, 0.19, 0.19}, 5'710'993,
+                            130'160'392, 22.79, 821));
+
+  {
+    SuiteSpec s;  // ER synthetic row (paper: n=1M, m=8M, AvgDeg 8)
+    s.name = "ER";
+    s.family = SuiteFamily::kEr;
+    s.n = 100'000;
+    s.m = 800'000;
+    s.paper_n = 1'000'000;
+    s.paper_m = 8'000'000;
+    s.paper_avgdeg = 8.0;
+    s.paper_maxk = 11;
+    s.batch_factor = 0.5;
+    suite.push_back(s);
+  }
+  {
+    SuiteSpec s;  // BA synthetic row: THE pathological JE case (one core)
+    s.name = "BA";
+    s.family = SuiteFamily::kBa;
+    s.n = 100'000;
+    s.m = 800'000;
+    s.ba_k = 8;
+    s.paper_n = 1'000'000;
+    s.paper_m = 8'000'000;
+    s.paper_avgdeg = 8.0;
+    s.paper_maxk = 8;
+    s.batch_factor = 0.25;
+    suite.push_back(s);
+  }
+  suite.push_back(rmat_spec("RMAT", 131'072, 800'000,
+                            RmatParams{0.57, 0.19, 0.19}, 1'000'000,
+                            8'000'000, 8.0, 237));
+
+  // Temporal graphs -> temporal BA / R-MAT streams.
+  {
+    SuiteSpec s;
+    s.name = "DBLP";
+    s.family = SuiteFamily::kTemporalBa;
+    s.n = 90'000;
+    s.m = 0;
+    s.ba_k = 16;
+    s.temporal = true;
+    s.paper_n = 1'824'701;
+    s.paper_m = 29'487'744;
+    s.paper_avgdeg = 16.17;
+    s.paper_maxk = 286;
+    suite.push_back(s);
+  }
+  {
+    SuiteSpec s;
+    s.name = "flickr";
+    s.family = SuiteFamily::kTemporalRmat;
+    s.n = 115'000;
+    s.m = 1'650'000;
+    s.rmat = RmatParams{0.57, 0.19, 0.19};
+    s.temporal = true;
+    s.paper_n = 2'302'926;
+    s.paper_m = 33'140'017;
+    s.paper_avgdeg = 14.41;
+    s.paper_maxk = 600;
+    suite.push_back(s);
+  }
+  {
+    SuiteSpec s;
+    s.name = "StackOverflow";
+    s.family = SuiteFamily::kTemporalRmat;
+    s.n = 130'000;
+    s.m = 1'500'000;
+    s.rmat = RmatParams{0.52, 0.21, 0.21};
+    s.temporal = true;
+    s.paper_n = 2'601'977;
+    s.paper_m = 63'497'050;
+    s.paper_avgdeg = 24.41;
+    s.paper_maxk = 198;
+    suite.push_back(s);
+  }
+  {
+    SuiteSpec s;
+    s.name = "wiki-edits-sh";
+    s.family = SuiteFamily::kTemporalBa;
+    s.n = 230'000;
+    s.m = 0;
+    s.ba_k = 9;
+    s.temporal = true;
+    s.paper_n = 4'589'850;
+    s.paper_m = 40'578'944;
+    s.paper_avgdeg = 8.84;
+    s.paper_maxk = 47;
+    suite.push_back(s);
+  }
+  return suite;
+}
+
+std::vector<SuiteSpec> scalability_suite() {
+  std::vector<SuiteSpec> out;
+  for (const SuiteSpec& s : table2_suite())
+    if (s.name == "livej" || s.name == "baidu" || s.name == "dbpedia" ||
+        s.name == "roadNet-CA")
+      out.push_back(s);
+  return out;
+}
+
+SuiteGraph build_suite_graph(const SuiteSpec& spec, double scale,
+                             std::uint64_t seed) {
+  // Per-graph deterministic seed derived from the name.
+  std::uint64_t h = seed;
+  for (char c : spec.name) h = h * 1099511628211ULL + static_cast<unsigned>(c);
+  Rng rng(h);
+
+  SuiteGraph sg;
+  sg.spec = spec;
+  const auto sn = static_cast<std::size_t>(
+      std::max(16.0, std::round(static_cast<double>(spec.n) * scale)));
+  const auto sm = static_cast<std::size_t>(
+      std::round(static_cast<double>(spec.m) * scale));
+
+  switch (spec.family) {
+    case SuiteFamily::kRmat: {
+      unsigned bits = scale_to_rmat_bits(sn);
+      sg.edges = gen_rmat(bits, sm, spec.rmat, rng);
+      sg.num_vertices = static_cast<std::size_t>(1) << bits;
+      break;
+    }
+    case SuiteFamily::kEr:
+      sg.edges = gen_erdos_renyi(sn, sm, rng);
+      sg.num_vertices = sn;
+      break;
+    case SuiteFamily::kGrid: {
+      auto side = static_cast<std::size_t>(std::sqrt(
+          static_cast<double>(sn)));
+      sg.edges = gen_grid(side, side, spec.grid_keep, spec.grid_diag, rng);
+      sg.num_vertices = side * side;
+      break;
+    }
+    case SuiteFamily::kBa:
+      sg.edges = gen_barabasi_albert(sn, spec.ba_k, rng);
+      sg.num_vertices = sn;
+      break;
+    case SuiteFamily::kTemporalBa:
+      sg.temporal = gen_temporal_ba(sn, spec.ba_k, rng);
+      sg.num_vertices = sn;
+      break;
+    case SuiteFamily::kTemporalRmat: {
+      unsigned bits = scale_to_rmat_bits(sn);
+      sg.temporal = gen_temporal_rmat(bits, sm, spec.rmat, rng);
+      sg.num_vertices = static_cast<std::size_t>(1) << bits;
+      break;
+    }
+  }
+  return sg;
+}
+
+DynamicGraph to_graph(const SuiteGraph& sg) {
+  if (!sg.temporal.empty()) {
+    std::vector<Edge> edges;
+    edges.reserve(sg.temporal.size());
+    for (const TimestampedEdge& te : sg.temporal) edges.push_back(te.e);
+    return DynamicGraph::from_edges(sg.num_vertices, edges);
+  }
+  return DynamicGraph::from_edges(sg.num_vertices, sg.edges);
+}
+
+}  // namespace parcore

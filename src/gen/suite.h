@@ -1,0 +1,70 @@
+// The 16-graph evaluation suite mirroring Table 2 of the paper.
+//
+// The original evaluation uses SNAP/KONECT graphs that are unavailable
+// offline; each row is replaced by a generated stand-in from the same
+// structural family, scaled down so the whole evaluation runs in
+// minutes (see DESIGN.md §4). `scale` multiplies vertex/edge counts
+// (1.0 = the library's laptop-scale default, ~10-30x below the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "support/rng.h"
+#include "support/types.h"
+
+namespace parcore {
+
+enum class SuiteFamily {
+  kRmat,      // skewed power-law (social / hyperlink networks)
+  kEr,        // uniform sparse (patent-like)
+  kGrid,      // road network
+  kBa,        // preferential attachment (single core value)
+  kTemporalBa,
+  kTemporalRmat,
+};
+
+struct SuiteSpec {
+  std::string name;         // paper graph this stands in for
+  SuiteFamily family;
+  std::size_t n;            // vertex budget at scale 1.0
+  std::size_t m;            // edge budget at scale 1.0
+  RmatParams rmat{};        // for RMAT families
+  std::size_t ba_k = 8;     // for BA families
+  double grid_keep = 0.93;  // for grid
+  double grid_diag = 0.05;
+  bool temporal = false;
+  /// Paper's reported statistics for side-by-side reporting.
+  std::size_t paper_n = 0;
+  std::size_t paper_m = 0;
+  double paper_avgdeg = 0.0;
+  int paper_maxk = 0;
+  /// Batch-size multiplier for pathological baselines (JE traversals on
+  /// uniform-core graphs are O(n) per edge).
+  double batch_factor = 1.0;
+};
+
+struct SuiteGraph {
+  SuiteSpec spec;
+  std::size_t num_vertices = 0;
+  std::vector<Edge> edges;                    // static graphs
+  std::vector<TimestampedEdge> temporal;      // temporal graphs
+};
+
+/// The 16 Table-2 rows.
+std::vector<SuiteSpec> table2_suite();
+
+/// A small subset used by the fig5/fig6 experiments
+/// (livej, baidu, dbpedia, roadNet-CA stand-ins).
+std::vector<SuiteSpec> scalability_suite();
+
+/// Generates a suite graph deterministically from its name.
+SuiteGraph build_suite_graph(const SuiteSpec& spec, double scale,
+                             std::uint64_t seed = 0x5eed);
+
+/// Materialises the static DynamicGraph (temporal edges included).
+DynamicGraph to_graph(const SuiteGraph& sg);
+
+}  // namespace parcore

@@ -1,0 +1,101 @@
+// Dynamic undirected graph over a fixed-capacity vertex set.
+//
+// Adjacency is stored as plain arrays per vertex ("our method uses
+// arrays to store edges", paper §6.3) — removal scans the adjacency
+// list, which is exactly the O(deg) cost the paper attributes to OurR
+// versus the tree-based JE storage.
+//
+// Thread-safety contract: DynamicGraph itself performs no
+// synchronisation. The maintainers mutate an edge (u,v) only while
+// holding the vertex locks of BOTH u and v, and read adj(w) only while
+// holding w's lock (or at quiescence), which makes all accesses
+// race-free by construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/types.h"
+
+namespace parcore {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  explicit DynamicGraph(std::size_t n) : adj_(n) {}
+
+  // Copy/move are explicit because of the atomic edge counter; they are
+  // only meaningful at quiescence (no concurrent mutators).
+  DynamicGraph(const DynamicGraph& other)
+      : adj_(other.adj_), num_edges_(other.num_edges()) {}
+  DynamicGraph& operator=(const DynamicGraph& other) {
+    adj_ = other.adj_;
+    num_edges_.store(other.num_edges(), std::memory_order_relaxed);
+    return *this;
+  }
+  DynamicGraph(DynamicGraph&& other) noexcept
+      : adj_(std::move(other.adj_)), num_edges_(other.num_edges()) {
+    other.num_edges_.store(0, std::memory_order_relaxed);
+  }
+  DynamicGraph& operator=(DynamicGraph&& other) noexcept {
+    adj_ = std::move(other.adj_);
+    num_edges_.store(other.num_edges(), std::memory_order_relaxed);
+    other.num_edges_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Builds a graph from an edge list, dropping self-loops and duplicate
+  /// edges (paper §6.2 preprocessing).
+  static DynamicGraph from_edges(std::size_t n, std::span<const Edge> edges);
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const {
+    return num_edges_.load(std::memory_order_relaxed);
+  }
+
+  /// Grows the vertex set to at least n vertices (no-op if smaller).
+  void add_vertices(std::size_t n) {
+    if (n > adj_.size()) adj_.resize(n);
+  }
+
+  std::span<const VertexId> neighbors(VertexId u) const {
+    return {adj_[u].data(), adj_[u].size()};
+  }
+
+  std::size_t degree(VertexId u) const { return adj_[u].size(); }
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Inserts (u,v); returns false for self-loops and existing edges.
+  bool insert_edge(VertexId u, VertexId v);
+
+  /// Removes (u,v); returns false if absent. Order within the adjacency
+  /// arrays is not preserved (swap-erase).
+  bool remove_edge(VertexId u, VertexId v);
+
+  /// Insert without the existence check — caller has already verified
+  /// absence (used under vertex locks where has_edge was just called).
+  void insert_edge_unchecked(VertexId u, VertexId v);
+
+  std::size_t max_degree() const;
+  double average_degree() const {  // paper Table 2 definition: m / n
+    return adj_.empty() ? 0.0
+                        : static_cast<double>(num_edges()) /
+                              static_cast<double>(adj_.size());
+  }
+
+  /// All edges with u < v, in adjacency order.
+  std::vector<Edge> edges() const;
+
+ private:
+  static bool erase_from(std::vector<VertexId>& list, VertexId x);
+
+  std::vector<std::vector<VertexId>> adj_;
+  // Adjacency lists are guarded by the maintainers' vertex locks; the
+  // shared edge counter is touched by all workers, so it is atomic.
+  std::atomic<std::size_t> num_edges_{0};
+};
+
+}  // namespace parcore

@@ -1,0 +1,101 @@
+#include "graph/edge_list.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace parcore {
+
+EdgeListData load_edge_list(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr)
+    throw std::runtime_error("cannot open edge list: " + path);
+
+  EdgeListData data;
+  std::unordered_map<unsigned long long, VertexId> remap;
+  auto intern = [&](unsigned long long raw) {
+    auto [it, inserted] = remap.try_emplace(
+        raw, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    unsigned long long a = 0, b = 0, t = 0;
+    int fields = std::sscanf(p, "%llu %llu %llu", &a, &b, &t);
+    if (fields < 2) continue;
+    TimestampedEdge te;
+    te.e = Edge{intern(a), intern(b)};
+    te.time = fields >= 3 ? t : 0;
+    if (fields >= 3) data.has_timestamps = true;
+    data.edges.push_back(te);
+  }
+  std::fclose(f);
+  data.num_vertices = remap.size();
+  return data;
+}
+
+void save_edge_list(const std::string& path, const EdgeListData& data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("cannot write edge list: " + path);
+  for (const TimestampedEdge& te : data.edges) {
+    if (data.has_timestamps)
+      std::fprintf(f, "%u %u %llu\n", te.e.u, te.e.v,
+                   static_cast<unsigned long long>(te.time));
+    else
+      std::fprintf(f, "%u %u\n", te.e.u, te.e.v);
+  }
+  std::fclose(f);
+}
+
+std::size_t canonicalize_edges(std::vector<Edge>& edges) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  std::size_t out = 0, dropped = 0;
+  for (const Edge& e : edges) {
+    if (e.u == e.v || !seen.insert(edge_key(e)).second) {
+      ++dropped;
+      continue;
+    }
+    edges[out++] = e;
+  }
+  edges.resize(out);
+  return dropped;
+}
+
+std::vector<Edge> sample_edges(const DynamicGraph& g, std::size_t count,
+                               Rng& rng) {
+  std::vector<Edge> all = g.edges();
+  if (count >= all.size()) return all;
+  // Partial Fisher-Yates: draw `count` distinct positions.
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(rng.bounded(all.size() - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+std::vector<std::vector<Edge>> split_batches(const std::vector<Edge>& edges,
+                                             std::size_t parts) {
+  if (parts == 0) parts = 1;
+  std::vector<std::vector<Edge>> out(parts);
+  const std::size_t base = edges.size() / parts;
+  const std::size_t extra = edges.size() % parts;
+  std::size_t pos = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    std::size_t len = base + (p < extra ? 1 : 0);
+    out[p].assign(edges.begin() + pos, edges.begin() + pos + len);
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace parcore

@@ -1,0 +1,43 @@
+// Edge-list IO and batch preparation utilities.
+//
+// File format: SNAP-style whitespace-separated "u v" (optionally
+// "u v timestamp") per line; lines starting with '#' or '%' are
+// comments. Vertices are arbitrary non-negative integers and are
+// compacted to [0, n).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/rng.h"
+#include "support/types.h"
+
+namespace parcore {
+
+struct EdgeListData {
+  std::size_t num_vertices = 0;
+  std::vector<TimestampedEdge> edges;  // time == 0 when absent
+  bool has_timestamps = false;
+};
+
+/// Loads an edge list; throws std::runtime_error on IO failure.
+EdgeListData load_edge_list(const std::string& path);
+
+/// Writes "u v [time]" lines.
+void save_edge_list(const std::string& path, const EdgeListData& data);
+
+/// Drops self-loops and duplicates (keeping first occurrence), preserving
+/// order. Returns number of edges removed.
+std::size_t canonicalize_edges(std::vector<Edge>& edges);
+
+/// Samples `count` distinct edges of `g` uniformly at random (the paper's
+/// "randomly select 100,000 edges" protocol). count is clamped to m.
+std::vector<Edge> sample_edges(const DynamicGraph& g, std::size_t count,
+                               Rng& rng);
+
+/// Splits `edges` into `parts` nearly equal contiguous batches.
+std::vector<std::vector<Edge>> split_batches(const std::vector<Edge>& edges,
+                                             std::size_t parts);
+
+}  // namespace parcore

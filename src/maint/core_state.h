@@ -1,0 +1,128 @@
+// Shared per-vertex maintenance state (paper §4: core, d+out, d*in, mcd,
+// status s, status t, one lock and one OM item per vertex) plus the
+// directory of per-level k-order lists. Used by both the sequential
+// Simplified-Order maintainer and the Parallel-Order maintainer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "decomp/bz.h"
+#include "graph/dynamic_graph.h"
+#include "om/order_list.h"
+#include "support/types.h"
+#include "sync/spinlock.h"
+
+namespace parcore {
+
+/// Directory of O_k lists. Reads are lock-free; creation is mutex-
+/// guarded; capacity growth happens only at quiescence (batch start).
+class LevelDirectory {
+ public:
+  void configure(std::uint32_t group_capacity) {
+    group_capacity_ = group_capacity;
+  }
+
+  /// Grows slot capacity to at least `cap` levels. Quiescent only.
+  void ensure_capacity(std::size_t cap);
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  OrderList* get(CoreValue k) const {
+    const auto idx = static_cast<std::size_t>(k);
+    return idx < slots_.size() ? slots_[idx].load(std::memory_order_acquire)
+                               : nullptr;
+  }
+
+  /// Returns O_k, creating it on first use. k must be < capacity().
+  OrderList& get_or_create(CoreValue k);
+
+  /// Destroys all lists (items become dangling; reinitialise after).
+  void clear();
+
+ private:
+  std::uint32_t group_capacity_ = 64;
+  std::vector<std::atomic<OrderList*>> slots_;
+  std::mutex create_mu_;
+  std::deque<OrderList> storage_;  // stable addresses
+};
+
+/// SoA vertex state. All cross-thread fields are atomics; `din` is only
+/// touched by the lock holder of its vertex.
+class CoreState {
+ public:
+  struct Options {
+    std::uint32_t om_group_capacity = 64;
+  };
+
+  void initialize(const DynamicGraph& g, const Options& opts);
+  void initialize(const DynamicGraph& g) { initialize(g, Options()); }
+
+  std::size_t size() const { return n_; }
+
+  // Per-vertex fields -----------------------------------------------------
+  std::atomic<CoreValue>& core(VertexId v) { return core_[v]; }
+  const std::atomic<CoreValue>& core(VertexId v) const { return core_[v]; }
+  std::atomic<CoreValue>& dout(VertexId v) { return dout_[v]; }
+  std::atomic<CoreValue>& mcd(VertexId v) { return mcd_[v]; }
+  std::atomic<std::int32_t>& t(VertexId v) { return t_[v]; }
+  std::atomic<std::uint32_t>& s(VertexId v) { return s_[v]; }
+  CoreValue& din(VertexId v) { return din_[v]; }
+  Spinlock& lock(VertexId v) { return locks_[v]; }
+  OmItem& item(VertexId v) { return items_[v]; }
+  const OmItem& item(VertexId v) const { return items_[v]; }
+
+  LevelDirectory& levels() { return levels_; }
+  CoreValue max_core() const {
+    return max_core_.load(std::memory_order_relaxed);
+  }
+  void raise_max_core(CoreValue k);
+
+  std::vector<CoreValue> cores_snapshot() const;
+
+  // Shared helpers ---------------------------------------------------------
+
+  /// Global k-order test at quiescence or with both vertices locked by
+  /// the caller: compares core numbers, then OM labels.
+  bool precedes_stable(VertexId a, VertexId b) const;
+
+  /// Algorithm 6: Parallel-Order — k-order test validated by the vertex
+  /// status words; safe against concurrent level moves.
+  bool precedes_guarded(VertexId a, VertexId b) const;
+
+  /// |{u in adj(v) : v precedes u}| — the defining value of d+out.
+  CoreValue compute_dout(const DynamicGraph& g, VertexId v) const;
+
+  /// |{u in adj(v) : core(u) >= core(v)}| — the defining value of mcd.
+  CoreValue compute_mcd(const DynamicGraph& g, VertexId v) const;
+
+  /// mcd(v) += 1 unless currently empty (CAS; safe against concurrent
+  /// invalidation during the insert phase).
+  void mcd_increment_unless_empty(VertexId v);
+
+  /// Full invariant suite (DESIGN.md §5): order-list validity, level
+  /// membership, dout exactness, k-order bound, mcd empty-or-exact,
+  /// din == 0, t == 0, all locks free. Quiescent only.
+  bool check_invariants(const DynamicGraph& g, std::string* error = nullptr,
+                        bool check_cores = false) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::unique_ptr<std::atomic<CoreValue>[]> core_;
+  std::unique_ptr<std::atomic<CoreValue>[]> dout_;
+  std::unique_ptr<std::atomic<CoreValue>[]> mcd_;
+  std::unique_ptr<std::atomic<std::int32_t>[]> t_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> s_;
+  std::vector<CoreValue> din_;
+  std::unique_ptr<Spinlock[]> locks_;
+  std::unique_ptr<OmItem[]> items_;
+  LevelDirectory levels_;
+  std::atomic<CoreValue> max_core_{0};
+};
+
+}  // namespace parcore

@@ -1,0 +1,202 @@
+#include "maint/traversal.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "decomp/bz.h"
+
+namespace parcore {
+
+TraversalMaintainer::TraversalMaintainer(DynamicGraph& g, Options opts)
+    : graph_(g), opts_(opts) {
+  rebuild();
+}
+
+void TraversalMaintainer::rebuild() {
+  const std::size_t n = graph_.num_vertices();
+  Decomposition d = bz_decompose(graph_);
+  core_ = std::move(d.core);
+  mcd_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    CoreValue m = 0;
+    for (VertexId u : graph_.neighbors(v))
+      if (core_[u] >= core_[v]) ++m;
+    mcd_[v] = m;
+  }
+  visit_mark_.assign(n, 0);
+  evict_mark_.assign(n, 0);
+  vstar_mark_.assign(n, 0);
+  cd_.assign(n, 0);
+  epoch_ = 0;
+}
+
+void TraversalMaintainer::begin_op() {
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
+    std::fill(evict_mark_.begin(), evict_mark_.end(), 0);
+    std::fill(vstar_mark_.begin(), vstar_mark_.end(), 0);
+    epoch_ = 1;
+  }
+  stack_.clear();
+  estack_.clear();
+  visited_list_.clear();
+  vstar_.clear();
+}
+
+CoreValue TraversalMaintainer::pcd(VertexId w, CoreValue k) const {
+  CoreValue value = 0;
+  for (VertexId x : graph_.neighbors(w)) {
+    if (core_[x] > k || (core_[x] == k && !evicted(x) && mcd_[x] > k))
+      ++value;
+  }
+  return value;
+}
+
+bool TraversalMaintainer::insert_edge(VertexId u, VertexId v) {
+  const std::size_t n = graph_.num_vertices();
+  if (u == v || u >= n || v >= n) return false;
+  if (!graph_.insert_edge(u, v)) return false;
+  const CoreValue cu = core_[u], cv = core_[v];
+  const CoreValue k = std::min(cu, cv);
+  if (cv >= cu) ++mcd_[u];
+  if (cu >= cv) ++mcd_[v];
+
+  begin_op();
+  const VertexId root = cu <= cv ? u : v;
+  auto visit = [&](VertexId x) {
+    visit_mark_[x] = epoch_;
+    cd_[x] = pcd(x, k);
+    stack_.push_back(x);
+    visited_list_.push_back(x);
+  };
+  visit(root);
+
+  auto evict_from = [&](VertexId w0) {
+    evict_mark_[w0] = epoch_;
+    estack_.push_back(w0);
+    while (!estack_.empty()) {
+      const VertexId w = estack_.back();
+      estack_.pop_back();
+      for (VertexId x : graph_.neighbors(w)) {
+        if (core_[x] != k || !visited(x) || evicted(x)) continue;
+        if (--cd_[x] <= k) {
+          evict_mark_[x] = epoch_;
+          estack_.push_back(x);
+        }
+      }
+    }
+  };
+
+  while (!stack_.empty()) {
+    const VertexId w = stack_.back();
+    stack_.pop_back();
+    if (evicted(w)) continue;
+    if (cd_[w] > k) {
+      for (VertexId x : graph_.neighbors(w)) {
+        if (core_[x] != k || visited(x) || mcd_[x] <= k) continue;
+        visit(x);
+      }
+    } else {
+      evict_from(w);
+    }
+  }
+
+  // Promote V* = visited \ evicted; repair mcd afterwards with final
+  // core values in place.
+  std::size_t promoted = 0;
+  for (VertexId w : visited_list_) {
+    if (evicted(w)) continue;
+    core_[w] = k + 1;
+    ++promoted;
+  }
+  if (promoted > 0) {
+    for (VertexId w : visited_list_) {
+      if (evicted(w)) continue;
+      CoreValue m = 0;
+      for (VertexId x : graph_.neighbors(w))
+        if (core_[x] >= k + 1) ++m;
+      mcd_[w] = m;
+      for (VertexId x : graph_.neighbors(w)) {
+        if (core_[x] != k + 1) continue;
+        if (visit_mark_[x] == epoch_ && !evicted(x)) continue;  // in V*
+        ++mcd_[x];
+      }
+    }
+  }
+  if (opts_.collect_stats) {
+    vplus_hist_.record(visited_list_.size());
+    vstar_hist_.record(promoted);
+  }
+  return true;
+}
+
+bool TraversalMaintainer::remove_edge(VertexId u, VertexId v) {
+  if (!graph_.remove_edge(u, v)) return false;
+  const CoreValue cu = core_[u], cv = core_[v];
+  const CoreValue k = std::min(cu, cv);
+  if (cv >= cu) --mcd_[u];
+  if (cu >= cv) --mcd_[v];
+
+  begin_op();
+  auto consider = [&](VertexId w) {
+    if (core_[w] == k && !in_vstar(w) && mcd_[w] < k) {
+      vstar_mark_[w] = epoch_;
+      vstar_.push_back(w);
+      stack_.push_back(w);
+    }
+  };
+  consider(u);
+  consider(v);
+  while (!stack_.empty()) {
+    const VertexId w = stack_.back();
+    stack_.pop_back();
+    for (VertexId x : graph_.neighbors(w)) {
+      if (core_[x] != k || in_vstar(x)) continue;
+      --mcd_[x];
+      consider(x);
+    }
+  }
+  for (VertexId w : vstar_) core_[w] = k - 1;
+  for (VertexId w : vstar_) {
+    CoreValue m = 0;
+    for (VertexId x : graph_.neighbors(w))
+      if (core_[x] >= k - 1) ++m;
+    mcd_[w] = m;
+  }
+  if (opts_.collect_stats) remove_vstar_hist_.record(vstar_.size());
+  return true;
+}
+
+std::size_t TraversalMaintainer::insert_batch(std::span<const Edge> edges) {
+  std::size_t applied = 0;
+  for (const Edge& e : edges)
+    if (insert_edge(e.u, e.v)) ++applied;
+  return applied;
+}
+
+std::size_t TraversalMaintainer::remove_batch(std::span<const Edge> edges) {
+  std::size_t applied = 0;
+  for (const Edge& e : edges)
+    if (remove_edge(e.u, e.v)) ++applied;
+  return applied;
+}
+
+bool TraversalMaintainer::check_mcd(std::string* error) const {
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    CoreValue m = 0;
+    for (VertexId u : graph_.neighbors(v))
+      if (core_[u] >= core_[v]) ++m;
+    if (m != mcd_[v]) {
+      if (error) {
+        std::ostringstream os;
+        os << "vertex " << v << ": mcd " << mcd_[v] << " != actual " << m;
+        *error = os.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parcore

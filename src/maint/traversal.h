@@ -1,0 +1,86 @@
+// Sequential Traversal core maintenance (Sariyüce et al. [18, 20]) — the
+// algorithm every prior parallel approach builds on, and the foundation
+// of the JE baseline. Standalone single-threaded implementation over
+// DynamicGraph, used as:
+//   - the "Traversal" row of the paper's related-work comparison,
+//   - a third independent oracle in the differential tests,
+//   - the per-edge engine reference for baseline/je.cpp.
+//
+// Insertion: DFS from the lower endpoint through the K-subcore, pruned
+// by mcd (pcd computed on the fly), with an eviction cascade on cd
+// (§3.3 of the paper summarises the method). Removal: the mcd cascade
+// of Algorithm 3 without k-order maintenance. mcd is maintained eagerly
+// across operations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/histogram.h"
+#include "support/types.h"
+
+namespace parcore {
+
+class TraversalMaintainer {
+ public:
+  struct Options {
+    bool collect_stats = false;  // |V+| / |V*| histograms
+  };
+
+  TraversalMaintainer(DynamicGraph& g, Options opts);
+  explicit TraversalMaintainer(DynamicGraph& g)
+      : TraversalMaintainer(g, Options()) {}
+
+  /// (Re)initialises cores and mcd from the current graph.
+  void rebuild();
+
+  bool insert_edge(VertexId u, VertexId v);
+  bool remove_edge(VertexId u, VertexId v);
+
+  std::size_t insert_batch(std::span<const Edge> edges);
+  std::size_t remove_batch(std::span<const Edge> edges);
+
+  CoreValue core(VertexId v) const { return core_[v]; }
+  const std::vector<CoreValue>& cores() const { return core_; }
+  CoreValue mcd(VertexId v) const { return mcd_[v]; }
+  DynamicGraph& graph() { return graph_; }
+
+  /// Exact mcd invariant check (testing).
+  bool check_mcd(std::string* error = nullptr) const;
+
+  const SizeHistogram& insert_vplus_histogram() const { return vplus_hist_; }
+  const SizeHistogram& insert_vstar_histogram() const { return vstar_hist_; }
+  const SizeHistogram& remove_vstar_histogram() const {
+    return remove_vstar_hist_;
+  }
+
+ private:
+  CoreValue pcd(VertexId w, CoreValue k) const;
+  void begin_op();
+  bool visited(VertexId v) const { return visit_mark_[v] == epoch_; }
+  bool evicted(VertexId v) const { return evict_mark_[v] == epoch_; }
+  bool in_vstar(VertexId v) const { return vstar_mark_[v] == epoch_; }
+
+  DynamicGraph& graph_;
+  Options opts_;
+  std::vector<CoreValue> core_;
+  std::vector<CoreValue> mcd_;
+
+  // Epoch-marked per-operation scratch.
+  std::vector<std::uint32_t> visit_mark_;
+  std::vector<std::uint32_t> evict_mark_;
+  std::vector<std::uint32_t> vstar_mark_;
+  std::vector<CoreValue> cd_;
+  std::uint32_t epoch_ = 0;
+  std::vector<VertexId> stack_;
+  std::vector<VertexId> estack_;
+  std::vector<VertexId> visited_list_;
+  std::vector<VertexId> vstar_;
+
+  SizeHistogram vplus_hist_;
+  SizeHistogram vstar_hist_;
+  SizeHistogram remove_vstar_hist_;
+};
+
+}  // namespace parcore

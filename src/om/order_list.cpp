@@ -1,0 +1,424 @@
+#include "om/order_list.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+#include "sync/backoff.h"
+
+namespace parcore {
+namespace {
+
+/// Label spacing used when extending the list at the tail: keeps
+/// trailing appends from exponentially halving the remaining top-label
+/// space (supports ~2^30 trailing group creations before rebalancing).
+constexpr std::uint64_t kTrailingGap = 1ULL << 32;
+
+}  // namespace
+
+OrderList::OrderList(CoreValue level, std::uint32_t group_capacity)
+    : level_(level), capacity_(group_capacity < 2 ? 2 : group_capacity) {
+  first_group_ = new OmGroup;
+  first_group_->label.store(1ULL << 31, std::memory_order_relaxed);
+  first_group_->owner = this;
+
+  head_anchor_.label.store(kBottomMax / 4, std::memory_order_relaxed);
+  tail_anchor_.label.store(3 * (kBottomMax / 4), std::memory_order_relaxed);
+  head_anchor_.group.store(first_group_, std::memory_order_relaxed);
+  tail_anchor_.group.store(first_group_, std::memory_order_relaxed);
+  head_anchor_.next = &tail_anchor_;
+  tail_anchor_.prev = &head_anchor_;
+  first_group_->first = &head_anchor_;
+  first_group_->last = &tail_anchor_;
+  first_group_->count = 2;
+}
+
+OrderList::~OrderList() {
+  OmGroup* g = first_group_;
+  while (g != nullptr) {
+    OmGroup* next = g->next;
+    delete g;
+    g = next;
+  }
+  for (OmGroup* q : quarantine_) delete q;
+}
+
+void OrderList::quarantine(OmGroup* g) {
+  quarantine_lock_.lock();
+  quarantine_.push_back(g);
+  quarantine_lock_.unlock();
+}
+
+OmGroup* OrderList::lock_group_of(const OmItem* x) {
+  Backoff backoff;
+  for (;;) {
+    OmGroup* g = x->group.load(std::memory_order_acquire);
+    if (g != nullptr) {
+      g->lock.lock();
+      if (x->group.load(std::memory_order_relaxed) == g) return g;
+      g->lock.unlock();
+    }
+    backoff.pause();
+  }
+}
+
+void OrderList::insert_after(OmItem* x, OmItem* item) {
+  assert(!item->linked());
+  OmGroup* g = lock_group_of(x);
+  insert_between(g, x, x->next, item);
+}
+
+void OrderList::insert_before(OmItem* z, OmItem* item) {
+  assert(!item->linked());
+  OmGroup* g = lock_group_of(z);
+  insert_between(g, z->prev, z, item);
+}
+
+void OrderList::insert_between(OmGroup* g, OmItem* pred, OmItem* succ,
+                               OmItem* item) {
+  for (;;) {
+    const std::uint64_t lo =
+        pred ? pred->label.load(std::memory_order_relaxed) : 0;
+    const std::uint64_t hi =
+        succ ? succ->label.load(std::memory_order_relaxed) : kBottomMax;
+    if (hi - lo >= 2) {
+      item->label.store(lo + (hi - lo) / 2, std::memory_order_relaxed);
+      item->prev = pred;
+      item->next = succ;
+      item->group.store(g, std::memory_order_release);
+      if (pred)
+        pred->next = item;
+      else
+        g->first = item;
+      if (succ)
+        succ->prev = item;
+      else
+        g->last = item;
+      ++g->count;
+      size_.fetch_add(1, std::memory_order_relaxed);
+      if (g->count > capacity_) {
+        OmGroup* g2 = relabel_or_split(g);
+        if (g2) g2->lock.unlock();
+      }
+      g->lock.unlock();
+      return;
+    }
+
+    // No label space between pred and succ: relabel (and possibly split)
+    // g, then re-resolve which side of a potential split we target.
+    OmGroup* g2 = relabel_or_split(g);
+    OmItem* ref = pred ? pred : succ;
+    OmGroup* target = ref->group.load(std::memory_order_relaxed);
+    if (g2) {
+      if (target == g2) {
+        g->lock.unlock();
+        g = g2;
+      } else {
+        g2->lock.unlock();
+      }
+    }
+    if (pred)
+      succ = pred->next;
+    else
+      pred = succ->prev;
+  }
+}
+
+void OrderList::remove(OmItem* item) {
+  OmGroup* g = lock_group_of(item);
+  if (item->prev)
+    item->prev->next = item->next;
+  else
+    g->first = item->next;
+  if (item->next)
+    item->next->prev = item->prev;
+  else
+    g->last = item->prev;
+  --g->count;
+  item->group.store(nullptr, std::memory_order_release);
+  item->prev = nullptr;
+  item->next = nullptr;
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  g->lock.unlock();
+}
+
+OmGroup* OrderList::relabel_or_split(OmGroup* g) {
+  bump_start();
+  OmGroup* g2 = nullptr;
+  if (g->count > capacity_) {
+    // Acquire a top label for the new group that will take the trailing
+    // half of g.
+    std::uint64_t label2;
+    const std::uint64_t gl = g->label.load(std::memory_order_relaxed);
+    OmGroup* next = g->next;
+    if (next == nullptr) {
+      const std::uint64_t span = kTopMax - gl;
+      label2 = span > 2 * kTrailingGap ? gl + kTrailingGap : gl + span / 2;
+      if (label2 <= gl) {
+        std::abort();  // top label space exhausted (unreachable at 2^62)
+      }
+    } else {
+      next->lock.lock();
+      const std::uint64_t nl = next->label.load(std::memory_order_relaxed);
+      next->lock.unlock();
+      label2 = nl - gl >= 2 ? gl + (nl - gl) / 2 : make_top_room_after(g);
+    }
+
+    g2 = new OmGroup;
+    g2->label.store(label2, std::memory_order_relaxed);
+    g2->owner = this;
+    g2->lock.lock();
+
+    std::uint32_t keep = g->count / 2;
+    if (keep == 0) keep = 1;
+    OmItem* cut = g->first;
+    for (std::uint32_t i = 1; i < keep; ++i) cut = cut->next;
+    OmItem* moved = cut->next;
+    g2->first = moved;
+    g2->last = g->last;
+    g->last = cut;
+    cut->next = nullptr;
+    if (moved) moved->prev = nullptr;
+    g2->count = g->count - keep;
+    g->count = keep;
+    for (OmItem* it = moved; it != nullptr; it = it->next)
+      it->group.store(g2, std::memory_order_release);
+    g2->next = g->next;
+    g->next = g2;
+
+    // Redistribute bottom labels of the new group.
+    std::uint64_t spacing = kBottomMax / (g2->count + 1);
+    std::uint64_t label = 0;
+    for (OmItem* it = g2->first; it != nullptr; it = it->next) {
+      label += spacing;
+      it->label.store(label, std::memory_order_relaxed);
+    }
+  }
+
+  // Redistribute bottom labels of g.
+  if (g->count > 0) {
+    std::uint64_t spacing = kBottomMax / (g->count + 1);
+    std::uint64_t label = 0;
+    for (OmItem* it = g->first; it != nullptr; it = it->next) {
+      label += spacing;
+      it->label.store(label, std::memory_order_relaxed);
+    }
+  }
+  bump_finish();
+  return g2;
+}
+
+std::uint64_t OrderList::make_top_room_after(OmGroup* g) {
+  // Rebalance walk (paper §3.4): traverse successors until the label gap
+  // exceeds j^2 (j = traversed group count), then respace the walked
+  // groups inside that gap, reserving the first slot for the caller.
+  // Group locks are taken strictly forward; empty groups encountered
+  // along the way are absorbed.
+  const std::uint64_t base = g->label.load(std::memory_order_relaxed);
+  std::vector<OmGroup*> walked;
+  std::uint64_t j = 1;
+  std::uint64_t limit = kTopMax;
+  OmGroup* cur = g;
+  for (;;) {
+    OmGroup* nxt = cur->next;
+    if (nxt == nullptr) {
+      limit = kTopMax;
+      break;
+    }
+    nxt->lock.lock();
+    if (nxt->count == 0) {
+      cur->next = nxt->next;
+      nxt->lock.unlock();
+      quarantine(nxt);
+      continue;
+    }
+    ++j;
+    if (nxt->label.load(std::memory_order_relaxed) - base > j * j) {
+      limit = nxt->label.load(std::memory_order_relaxed);
+      nxt->lock.unlock();
+      break;
+    }
+    walked.push_back(nxt);
+    cur = nxt;
+  }
+
+  const std::uint64_t span = limit - base;
+  const std::uint64_t slots = static_cast<std::uint64_t>(walked.size()) + 2;
+  std::uint64_t gap = span / slots;
+  if (gap == 0) {
+    // Degenerate: fall back to unit spacing; span > walked.size() + 1
+    // is guaranteed by the j^2 walk condition.
+    gap = 1;
+  }
+  const std::uint64_t slot = base + gap;
+  std::uint64_t assign = slot;
+  for (OmGroup* w : walked) {
+    assign += gap;
+    w->label.store(assign, std::memory_order_relaxed);
+    w->lock.unlock();
+  }
+  return slot;
+}
+
+bool OrderList::precedes(const OmItem* a, const OmItem* b) {
+  Backoff backoff;
+  for (;;) {
+    OmGroup* ga = a->group.load(std::memory_order_acquire);
+    OmGroup* gb = b->group.load(std::memory_order_acquire);
+    if (ga == nullptr || gb == nullptr) {
+      backoff.pause();  // item mid-move; the mover finishes promptly
+      continue;
+    }
+    OrderList* la = ga->owner;
+    OrderList* lb = gb->owner;
+    if (la != lb) {
+      // Caller raced a level move; order by core level (global k-order).
+      const CoreValue lvl_a = la->level_;
+      const CoreValue lvl_b = lb->level_;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (a->group.load(std::memory_order_relaxed) != ga ||
+          b->group.load(std::memory_order_relaxed) != gb)
+        continue;
+      return lvl_a < lvl_b;
+    }
+    const std::uint64_t fin =
+        la->relabel_finished_.load(std::memory_order_acquire);
+    const std::uint64_t sta =
+        la->relabel_started_.load(std::memory_order_acquire);
+    if (sta != fin) {
+      backoff.pause();
+      continue;
+    }
+    const std::uint64_t gla = ga->label.load(std::memory_order_relaxed);
+    const std::uint64_t glb = gb->label.load(std::memory_order_relaxed);
+    const std::uint64_t ila = a->label.load(std::memory_order_relaxed);
+    const std::uint64_t ilb = b->label.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (la->relabel_started_.load(std::memory_order_relaxed) != sta ||
+        a->group.load(std::memory_order_relaxed) != ga ||
+        b->group.load(std::memory_order_relaxed) != gb)
+      continue;
+    if (ga != gb) return gla < glb;
+    return ila < ilb;
+  }
+}
+
+OmKey OrderList::snapshot_key(const OmItem* item) const {
+  Backoff backoff;
+  for (;;) {
+    OmGroup* g = item->group.load(std::memory_order_acquire);
+    if (g == nullptr) {
+      backoff.pause();
+      continue;
+    }
+    const std::uint64_t fin =
+        relabel_finished_.load(std::memory_order_acquire);
+    const std::uint64_t sta = relabel_started_.load(std::memory_order_acquire);
+    if (sta != fin) {
+      backoff.pause();
+      continue;
+    }
+    OmKey key{g->label.load(std::memory_order_relaxed),
+              item->label.load(std::memory_order_relaxed)};
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (relabel_started_.load(std::memory_order_relaxed) != sta ||
+        item->group.load(std::memory_order_relaxed) != g)
+      continue;
+    return key;
+  }
+}
+
+bool OrderList::quiescent_version(std::uint64_t& ver) const {
+  const std::uint64_t fin = relabel_finished_.load(std::memory_order_acquire);
+  const std::uint64_t sta = relabel_started_.load(std::memory_order_acquire);
+  ver = sta;
+  return sta == fin;
+}
+
+void OrderList::compact() {
+  // Quiescent-only: absorb empty groups and reclaim the quarantine.
+  OmGroup* g = first_group_;
+  while (g != nullptr) {
+    OmGroup* nxt = g->next;
+    if (nxt != nullptr && nxt->count == 0) {
+      g->next = nxt->next;
+      delete nxt;
+      continue;
+    }
+    g = nxt;
+  }
+  for (OmGroup* q : quarantine_) delete q;
+  quarantine_.clear();
+}
+
+bool OrderList::validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = "O_" + std::to_string(level_) + ": " + msg;
+    return false;
+  };
+
+  std::uint64_t prev_group_label = 0;
+  bool first_group_seen = false;
+  std::size_t items = 0;
+  bool saw_head = false, saw_tail = false;
+
+  for (OmGroup* g = first_group_; g != nullptr; g = g->next) {
+    const std::uint64_t gl = g->label.load(std::memory_order_relaxed);
+    if (first_group_seen && gl <= prev_group_label)
+      return fail("group labels not strictly increasing");
+    first_group_seen = true;
+    prev_group_label = gl;
+    if (g->owner != this) return fail("group owner mismatch");
+
+    std::uint32_t count = 0;
+    std::uint64_t prev_label = 0;
+    bool any = false;
+    for (OmItem* it = g->first; it != nullptr; it = it->next) {
+      if (it->group.load(std::memory_order_relaxed) != g)
+        return fail("item group pointer mismatch");
+      const std::uint64_t il = it->label.load(std::memory_order_relaxed);
+      if (any && il <= prev_label)
+        return fail("item labels not strictly increasing");
+      any = true;
+      prev_label = il;
+      if (it->next && it->next->prev != it) return fail("broken item links");
+      if (it == &head_anchor_) saw_head = true;
+      if (it == &tail_anchor_) saw_tail = true;
+      ++count;
+    }
+    if (count != g->count) return fail("group count mismatch");
+    if ((g->first == nullptr) != (g->count == 0))
+      return fail("first/count inconsistent");
+    if (g->first && g->first->prev != nullptr)
+      return fail("first item has prev");
+    if (g->last && g->last->next != nullptr) return fail("last item has next");
+    items += count;
+  }
+  if (!saw_head || !saw_tail) return fail("anchors missing");
+  if (items != size_.load(std::memory_order_relaxed) + 2)
+    return fail("size mismatch");
+
+  // Head anchor must be globally first, tail anchor globally last.
+  if (first_group_->first != &head_anchor_)
+    return fail("head anchor not first");
+  OmGroup* last_group = first_group_;
+  while (last_group->next != nullptr) last_group = last_group->next;
+  // The tail anchor may be followed only by empty groups.
+  OmGroup* tg = tail_anchor_.group.load(std::memory_order_relaxed);
+  if (tg->last != &tail_anchor_) return fail("tail anchor not last in group");
+  for (OmGroup* g = tg->next; g != nullptr; g = g->next)
+    if (g->count != 0) return fail("items after tail anchor");
+  return true;
+}
+
+std::vector<VertexId> OrderList::to_vector() const {
+  std::vector<VertexId> out;
+  out.reserve(size());
+  for (OmGroup* g = first_group_; g != nullptr; g = g->next)
+    for (OmItem* it = g->first; it != nullptr; it = it->next)
+      if (it != &head_anchor_ && it != &tail_anchor_)
+        out.push_back(it->vertex);
+  return out;
+}
+
+}  // namespace parcore

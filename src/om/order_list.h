@@ -1,0 +1,197 @@
+// Parallel Order-Maintenance (OM) data structure (paper §3.4, after
+// Dietz–Sleator / Bender et al., parallelised as in the authors'
+// companion paper arXiv:2208.07800).
+//
+// One OrderList holds the k-order O_k of all vertices with core number
+// k, as a two-level structure:
+//
+//   top    : singly-linked list of Groups, each with a uint64 label;
+//   bottom : items doubly-linked *within* their group, each with a
+//            uint64 label. Order(x, y) = (group label, item label)
+//            lexicographic.
+//
+// Concurrency design:
+//   - Order is lock-free: labels are read under a per-list seq-lock
+//     (relabel_started_/relabel_finished_ counters). Only relabels
+//     (bottom redistribution, splits, top-label rebalance walks) bump
+//     the counters; plain inserts/deletes do not invalidate readers.
+//     The counters double as the O_k.ver / O_k.cnt of Algorithm 9.
+//   - Insert/Delete lock the target group. Multi-group operations
+//     (split, rebalance walk, empty-group absorption) acquire group
+//     locks strictly forward along the list, so no two operations can
+//     deadlock.
+//   - Item links never cross group boundaries, so an operation on group
+//     g writes only g-owned state.
+//   - Emptied groups are quarantined, never freed while the structure
+//     is live (lock-free readers may still hold pointers); compact()
+//     reclaims them at quiescence.
+//
+// Items are owned by the caller (one OmItem per vertex, reused as the
+// vertex moves between core levels).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.h"
+#include "sync/spinlock.h"
+
+namespace parcore {
+
+class OrderList;
+
+struct OmGroup;
+
+/// One element of an ordered list. POD-with-atomics; owned externally.
+struct OmItem {
+  std::atomic<std::uint64_t> label{0};
+  std::atomic<OmGroup*> group{nullptr};
+  OmItem* prev = nullptr;  // within-group links, guarded by group lock
+  OmItem* next = nullptr;
+  VertexId vertex = kInvalidVertex;
+
+  bool linked() const {
+    return group.load(std::memory_order_acquire) != nullptr;
+  }
+};
+
+struct OmGroup {
+  std::atomic<std::uint64_t> label{0};
+  OmGroup* next = nullptr;  // guarded by this group's lock
+  OmItem* first = nullptr;
+  OmItem* last = nullptr;
+  std::uint32_t count = 0;
+  Spinlock lock;
+  OrderList* owner = nullptr;
+};
+
+/// Lexicographic position key; snapshot of (group label, item label).
+struct OmKey {
+  std::uint64_t group_label = 0;
+  std::uint64_t item_label = 0;
+
+  friend constexpr auto operator<=>(const OmKey&, const OmKey&) = default;
+};
+
+class OrderList {
+ public:
+  /// `level` is the core value k this list represents (used for the
+  /// cross-list ordering fallback); `group_capacity` is the split
+  /// threshold (paper: Theta(log N); tests use tiny values to force
+  /// relabels).
+  explicit OrderList(CoreValue level, std::uint32_t group_capacity = 64);
+  ~OrderList();
+
+  OrderList(const OrderList&) = delete;
+  OrderList& operator=(const OrderList&) = delete;
+
+  CoreValue level() const { return level_; }
+
+  // -- mutations (thread-safe) ------------------------------------------
+
+  /// Inserts `item` immediately after `x`; x must be linked in this list
+  /// (or be the head anchor). item must be unlinked.
+  void insert_after(OmItem* x, OmItem* item);
+
+  /// Inserts `item` at the very beginning (Algorithm 7 line 16).
+  void insert_head(OmItem* item) { insert_after(&head_anchor_, item); }
+
+  /// Inserts `item` at the very end (Algorithm 8 line 17).
+  void insert_tail(OmItem* item) { insert_before(&tail_anchor_, item); }
+
+  /// Unlinks `item` from this list; its label/group become stale but the
+  /// group memory stays valid for concurrent readers.
+  void remove(OmItem* item);
+
+  // -- queries (lock-free) ----------------------------------------------
+
+  /// True iff a precedes b. When both items are in the same list this is
+  /// the label comparison; when the caller raced a level move, falls
+  /// back to comparing list levels (= core numbers), which is the global
+  /// k-order. Callers that need a stable answer guard with the vertex
+  /// status protocol (Algorithm 6).
+  static bool precedes(const OmItem* a, const OmItem* b);
+
+  /// Consistent (group,item) label snapshot of an item in this list.
+  OmKey snapshot_key(const OmItem* item) const;
+
+  /// Version counter (O_k.ver): bumped at start and end of each relabel.
+  std::uint64_t version_started() const {
+    return relabel_started_.load(std::memory_order_acquire);
+  }
+  /// True with ver filled iff no relabel is in flight (O_k.cnt == 0).
+  bool quiescent_version(std::uint64_t& ver) const;
+
+  /// Number of live items (excluding anchors).
+  std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  // -- maintenance / testing --------------------------------------------
+
+  /// Reclaims quarantined groups and absorbs empty ones. NOT thread-safe;
+  /// call only at quiescence.
+  void compact();
+
+  /// Structural validation for tests; fills `error` on failure.
+  bool validate(std::string* error = nullptr) const;
+
+  /// Items in order, excluding anchors (quiescent only).
+  std::vector<VertexId> to_vector() const;
+
+  std::uint64_t relabel_count() const {
+    return relabel_started_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend struct OmGroup;
+
+  static constexpr std::uint64_t kTopMax = 1ULL << 62;
+  static constexpr std::uint64_t kBottomMax = 1ULL << 62;
+
+  void insert_before(OmItem* z, OmItem* item);
+  /// Shared insert core: places item between (pred, succ) inside g where
+  /// either may be null (group boundary). Caller holds g's lock; this
+  /// routine releases it.
+  void insert_between(OmGroup* g, OmItem* pred, OmItem* succ, OmItem* item);
+
+  /// Locks the group currently containing x (retrying across moves).
+  OmGroup* lock_group_of(const OmItem* x);
+
+  /// Redistributes bottom labels of g, splitting first when over
+  /// capacity; bumps the relabel counters. Caller holds g's lock and
+  /// retains it on return; the new group (if any) is returned LOCKED.
+  OmGroup* relabel_or_split(OmGroup* g);
+
+  /// Makes top-label space after g (rebalance walk of §3.4); returns the
+  /// label for a new group to be inserted right after g. Caller holds
+  /// g's lock; called inside a relabel window.
+  std::uint64_t make_top_room_after(OmGroup* g);
+
+  void bump_start() {
+    relabel_started_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void bump_finish() {
+    relabel_finished_.fetch_add(1, std::memory_order_release);
+  }
+
+  void quarantine(OmGroup* g);
+
+  CoreValue level_;
+  std::uint32_t capacity_;
+
+  OmGroup* first_group_;  // never unlinked: holds the head anchor
+  OmItem head_anchor_;
+  OmItem tail_anchor_;
+
+  std::atomic<std::uint64_t> relabel_started_{0};
+  std::atomic<std::uint64_t> relabel_finished_{0};
+  std::atomic<std::size_t> size_{0};
+
+  Spinlock quarantine_lock_;
+  std::vector<OmGroup*> quarantine_;
+};
+
+}  // namespace parcore

@@ -1,0 +1,64 @@
+// Per-worker min-priority queue over the k-order (paper §5, Algorithms
+// 9-11). Entries cache an OM label snapshot [Lt, Lb] plus the vertex
+// status word s and are keyed by the snapshot; the whole queue is
+// re-snapshotted ("update_version") whenever
+//   - the O_k relabel version moved since the cache was built, or
+//   - a dequeued vertex's status word changed (it was moved by another
+//     worker), which invalidates the cached order.
+// dequeue() returns the minimal vertex LOCKED with core == k (via the
+// conditional lock of Algorithm 4), or kInvalidVertex when drained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "maint/core_state.h"
+#include "om/order_list.h"
+#include "support/types.h"
+#include "support/vertex_set.h"
+
+namespace parcore {
+
+class KOrderHeap {
+ public:
+  /// Binds the queue to one operation's O_k list; clears all entries.
+  void reset(OrderList* list, CoreState* state);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Algorithm 10: snapshot v's labels/status and add it (no-op if
+  /// already queued). Never blocks.
+  void enqueue(VertexId v);
+
+  /// Algorithm 11: pops vertices in k-order; returns the first vertex
+  /// successfully locked with core == k (caller owns the lock), or
+  /// kInvalidVertex when the queue is exhausted.
+  VertexId dequeue(CoreValue k);
+
+  bool contains(VertexId v) const { return inq_.contains(v); }
+
+ private:
+  struct Entry {
+    OmKey key;
+    std::uint32_t s = 0;
+    VertexId v = kInvalidVertex;
+  };
+
+  static bool later(const Entry& a, const Entry& b) { return b.key < a.key; }
+
+  /// Algorithm 9: re-snapshot every entry at a quiescent O_k version.
+  void update_version();
+
+  void push(Entry e);
+  Entry pop();
+
+  std::vector<Entry> heap_;
+  VertexSet inq_;
+  OrderList* list_ = nullptr;
+  CoreState* state_ = nullptr;
+  std::uint64_t version_ = 0;
+  bool version_valid_ = false;
+};
+
+}  // namespace parcore

@@ -1,0 +1,488 @@
+#include "parallel/parallel_order.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sync/backoff.h"
+
+namespace parcore {
+
+ParallelOrderMaintainer::ParallelOrderMaintainer(DynamicGraph& g,
+                                                 ThreadTeam& team,
+                                                 Options opts)
+    : graph_(g), team_(team), opts_(opts) {
+  ctxs_.resize(static_cast<std::size_t>(team_.max_workers()));
+  rebuild();
+}
+
+void ParallelOrderMaintainer::rebuild() {
+  state_.initialize(graph_, opts_.state);
+  mark_.assign(graph_.num_vertices(), 0);
+  epoch_ = 0;
+}
+
+void ParallelOrderMaintainer::lock_endpoints(VertexId a, VertexId b) {
+  // "Lock u and v together if both are not locked" (Alg. 7/8 line 1):
+  // hold one only while try-locking the other — no hold-and-wait, so
+  // this step cannot join a blocking cycle.
+  if (a > b) std::swap(a, b);
+  lock_pair(state_.lock(a), state_.lock(b));
+}
+
+template <typename Fn>
+BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
+                                               int workers, Fn&& op) {
+  std::atomic<std::size_t> applied{0};
+  if (opts_.static_partition) {
+    // Paper Algorithm 5: split ΔE into P contiguous parts.
+    const std::size_t p =
+        static_cast<std::size_t>(std::max(1, std::min(workers, 1024)));
+    team_.run(workers, [&](int w) {
+      WorkerCtx& ctx = ctxs_[static_cast<std::size_t>(w)];
+      const std::size_t base = edges.size() / p;
+      const std::size_t extra = edges.size() % p;
+      const auto uw = static_cast<std::size_t>(w);
+      const std::size_t begin = uw * base + std::min(uw, extra);
+      const std::size_t len = base + (uw < extra ? 1 : 0);
+      std::size_t done = 0;
+      for (std::size_t i = begin; i < begin + len; ++i)
+        if (op(ctx, edges[i])) ++done;
+      applied.fetch_add(done, std::memory_order_relaxed);
+    });
+  } else {
+    std::atomic<std::size_t> next{0};
+    team_.run(workers, [&](int w) {
+      WorkerCtx& ctx = ctxs_[static_cast<std::size_t>(w)];
+      std::size_t done = 0;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= edges.size()) break;
+        if (op(ctx, edges[i])) ++done;
+      }
+      applied.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+  BatchResult r;
+  r.applied = applied.load(std::memory_order_relaxed);
+  r.skipped = edges.size() - r.applied;
+  return r;
+}
+
+// ===========================================================================
+// Insertion (Algorithms 5, 7)
+// ===========================================================================
+
+BatchResult ParallelOrderMaintainer::insert_batch(std::span<const Edge> edges,
+                                                  int workers) {
+  // Each insertion raises cores by at most one, so the level directory
+  // can be sized once, at quiescence.
+  state_.levels().ensure_capacity(
+      std::min(static_cast<std::size_t>(state_.max_core()) + edges.size(),
+               graph_.num_vertices()) +
+      2);
+  return run_batch(edges, workers,
+                   [this](WorkerCtx& ctx, Edge e) { return insert_one(ctx, e); });
+}
+
+bool ParallelOrderMaintainer::insert_one(WorkerCtx& ctx, Edge e) {
+  VertexId u = e.u, v = e.v;
+  const std::size_t n = graph_.num_vertices();
+  if (u == v || u >= n || v >= n) return false;
+
+  lock_endpoints(u, v);
+  if (graph_.has_edge(u, v)) {
+    state_.lock(u).unlock();
+    state_.lock(v).unlock();
+    return false;
+  }
+  // Orient u ≺ v; both endpoints are locked, so their positions are
+  // stable (only a lock holder moves a vertex).
+  if (state_.precedes_stable(v, u)) std::swap(u, v);
+  const CoreValue k = state_.core(u).load(std::memory_order_relaxed);
+  const CoreValue cv = state_.core(v).load(std::memory_order_relaxed);
+
+  graph_.insert_edge_unchecked(u, v);
+  state_.dout(u).fetch_add(1, std::memory_order_relaxed);
+  if (cv >= k) state_.mcd_increment_unless_empty(u);
+  if (k >= cv) state_.mcd_increment_unless_empty(v);
+  state_.lock(v).unlock();
+
+  if (state_.dout(u).load(std::memory_order_relaxed) <= k) {
+    state_.lock(u).unlock();
+    if (opts_.collect_stats) {
+      ctx.vplus_hist.record(0);
+      ctx.vstar_hist.record(0);
+    }
+    return true;
+  }
+
+  OrderList& list = state_.levels().get_or_create(k);
+  ctx.queue.reset(&list, &state_);
+  ctx.vstar.clear();
+  ctx.locked.clear();
+  ctx.vplus_count = 0;
+  ctx.locked.push_back(u);
+
+  VertexId w = u;
+  while (w != kInvalidVertex) {
+    // d*in(w) = |pre(w) ∩ V*| (Alg. 7 line 9). All V* members are locked
+    // by this worker and precede w, so adjacency membership suffices.
+    CoreValue d = 0;
+    for (VertexId x : graph_.neighbors(w))
+      if (ctx.vstar.contains(x)) ++d;
+    state_.din(w) = d;
+
+    if (d + state_.dout(w).load(std::memory_order_relaxed) > k) {
+      insert_forward(ctx, w, k);
+    } else if (d > 0) {
+      insert_backward(ctx, w, k, list);
+    } else {
+      // Skip: w is not in V+; release it immediately. w is always the
+      // most recently locked vertex.
+      state_.din(w) = 0;
+      state_.lock(w).unlock();
+      ctx.locked.pop_back();
+    }
+
+    w = ctx.queue.dequeue(k);  // returns w locked with core == k
+    if (w != kInvalidVertex) ctx.locked.push_back(w);
+  }
+
+  finalize_insert(ctx, k, list);
+  return true;
+}
+
+void ParallelOrderMaintainer::insert_forward(WorkerCtx& ctx, VertexId w,
+                                             CoreValue k) {
+  ++ctx.vplus_count;
+  ctx.vstar.insert(w);
+  for (VertexId x : graph_.neighbors(w)) {
+    if (state_.core(x).load(std::memory_order_acquire) != k) continue;
+    if (ctx.vstar.contains(x)) continue;
+    if (ctx.queue.contains(x)) continue;
+    if (!state_.precedes_guarded(w, x)) continue;  // successors only
+    ctx.queue.enqueue(x);
+  }
+}
+
+void ParallelOrderMaintainer::adjust_candidates(WorkerCtx& ctx, VertexId y,
+                                                CoreValue k) {
+  // DoPre + DoPost in one scan: V* neighbours of y are all locked by
+  // this worker, so their relative order to y is stable.
+  for (VertexId x : graph_.neighbors(y)) {
+    if (!ctx.vstar.contains(x)) continue;
+    if (state_.precedes_stable(x, y)) {
+      state_.dout(x).fetch_sub(1, std::memory_order_relaxed);
+    } else if (state_.din(x) > 0) {
+      state_.din(x) -= 1;
+    } else {
+      continue;
+    }
+    if (state_.din(x) + state_.dout(x).load(std::memory_order_relaxed) <= k &&
+        ctx.inr.insert(x))
+      ctx.rq.push_back(x);
+  }
+}
+
+void ParallelOrderMaintainer::insert_backward(WorkerCtx& ctx, VertexId w,
+                                              CoreValue k, OrderList& list) {
+  ++ctx.vplus_count;
+  OmItem* pre = &state_.item(w);
+  ctx.rq.clear();
+  ctx.inr.clear();
+  adjust_candidates(ctx, w, k);  // origin: only the DoPre branch fires
+  state_.dout(w).fetch_add(state_.din(w), std::memory_order_relaxed);
+  state_.din(w) = 0;
+
+  while (!ctx.rq.empty()) {
+    const VertexId y = ctx.rq.front();
+    ctx.rq.pop_front();
+    ctx.vstar.erase(y);
+    adjust_candidates(ctx, y, k);
+    // Move y right after `pre` in O_k; s is odd while y's position is in
+    // flux so Parallel-Order readers (Alg. 6) retry instead of tearing.
+    state_.s(y).fetch_add(1, std::memory_order_acq_rel);
+    list.remove(&state_.item(y));
+    list.insert_after(pre, &state_.item(y));
+    state_.s(y).fetch_add(1, std::memory_order_release);
+    pre = &state_.item(y);
+    state_.dout(y).fetch_add(state_.din(y), std::memory_order_relaxed);
+    state_.din(y) = 0;
+  }
+}
+
+void ParallelOrderMaintainer::finalize_insert(WorkerCtx& ctx, CoreValue k,
+                                              OrderList& list) {
+  if (!ctx.vstar.empty()) {
+    OrderList& next = state_.levels().get_or_create(k + 1);
+    OmItem* anchor = nullptr;
+    ctx.vstar.for_each([&](VertexId c) {
+      // Widened s-odd window: core and position change together so
+      // Parallel-Order never observes a torn (core, label) pair
+      // (DESIGN.md §3.2 item 3). The position moves BEFORE the core is
+      // published: a worker whose conditional lock observes core = k+1
+      // drops c from its queue assuming c is already ordered after its
+      // own still-pending candidates — with head insertion that only
+      // holds once c's item is physically in O_{k+1} (DESIGN.md §3.2
+      // item 6; the paper's line 15/16 order has this race).
+      state_.s(c).fetch_add(1, std::memory_order_acq_rel);
+      state_.din(c) = 0;
+      list.remove(&state_.item(c));
+      if (anchor == nullptr)
+        next.insert_head(&state_.item(c));
+      else
+        next.insert_after(anchor, &state_.item(c));
+      state_.core(c).store(k + 1, std::memory_order_release);
+      state_.s(c).fetch_add(1, std::memory_order_release);
+      anchor = &state_.item(c);
+
+      // mcd: the promoted vertex's own value is stale; neighbours now at
+      // the promoted level gain one >=-core neighbour.
+      state_.mcd(c).store(kMcdEmpty, std::memory_order_relaxed);
+      for (VertexId x : graph_.neighbors(c))
+        if (state_.core(x).load(std::memory_order_acquire) == k + 1)
+          state_.mcd_increment_unless_empty(x);
+    });
+    state_.raise_max_core(k + 1);
+  }
+
+  if (opts_.collect_stats) {
+    ctx.vplus_hist.record(ctx.vplus_count);
+    ctx.vstar_hist.record(ctx.vstar.size());
+  }
+  for (VertexId x : ctx.locked) state_.lock(x).unlock();
+  ctx.locked.clear();
+}
+
+// ===========================================================================
+// Removal (Algorithm 8)
+// ===========================================================================
+
+BatchResult ParallelOrderMaintainer::remove_batch(std::span<const Edge> edges,
+                                                  int workers) {
+  ++epoch_;
+  for (auto& ctx : ctxs_) ctx.touched.clear();
+  BatchResult r = run_batch(edges, workers, [this](WorkerCtx& ctx, Edge e) {
+    return remove_one(ctx, e);
+  });
+  repair_dout_after_removal(workers);
+  return r;
+}
+
+bool ParallelOrderMaintainer::remove_one(WorkerCtx& ctx, Edge e) {
+  VertexId u = e.u, v = e.v;
+  const std::size_t n = graph_.num_vertices();
+  if (u == v || u >= n || v >= n) return false;
+
+  lock_endpoints(u, v);
+  if (!graph_.has_edge(u, v)) {
+    state_.lock(u).unlock();
+    state_.lock(v).unlock();
+    return false;
+  }
+  const CoreValue cu = state_.core(u).load(std::memory_order_relaxed);
+  const CoreValue cv = state_.core(v).load(std::memory_order_relaxed);
+  const CoreValue k = std::min(cu, cv);
+
+  // CheckMCD before the edge disappears so lazily recomputed values
+  // still count the peer (Alg. 8 line 3).
+  check_mcd(u, kInvalidVertex);
+  check_mcd(v, kInvalidVertex);
+
+  // dout of the k-order-lower endpoint drops with the edge.
+  if (state_.precedes_stable(u, v))
+    state_.dout(u).fetch_sub(1, std::memory_order_relaxed);
+  else
+    state_.dout(v).fetch_sub(1, std::memory_order_relaxed);
+  graph_.remove_edge(u, v);
+
+  ctx.vstar.clear();
+  ctx.rq.clear();
+  ctx.touched.push_back(u);
+  ctx.touched.push_back(v);
+
+  // Endpoint mcd drops only when the removed peer counted toward it
+  // (paper guard corrected per DESIGN.md §3.2 item 1).
+  bool keep_u = false, keep_v = false;
+  if (cv >= cu) {
+    state_.mcd(u).fetch_sub(1, std::memory_order_relaxed);
+    keep_u = demote_if_unsupported(ctx, u, k);
+  }
+  if (cu >= cv) {
+    state_.mcd(v).fetch_sub(1, std::memory_order_relaxed);
+    keep_v = demote_if_unsupported(ctx, v, k);
+  }
+  if (!keep_u) state_.lock(u).unlock();
+  if (!keep_v) state_.lock(v).unlock();
+
+  while (!ctx.rq.empty()) {
+    const VertexId w = ctx.rq.front();
+    ctx.rq.pop_front();
+    ctx.ap.clear();
+    for (;;) {
+      state_.t(w).fetch_sub(1, std::memory_order_acq_rel);  // 2 -> 1
+      for (VertexId x : graph_.neighbors(w)) {
+        if (ctx.ap.contains(x)) continue;
+        if (state_.core(x).load(std::memory_order_acquire) != k) continue;
+        if (!lock_if(state_.lock(x), [&] {
+              return state_.core(x).load(std::memory_order_acquire) == k;
+            }))
+          continue;  // x was demoted concurrently; skip, no busy wait
+        check_mcd(x, w);
+        state_.mcd(x).fetch_sub(1, std::memory_order_relaxed);
+        const bool kept = demote_if_unsupported(ctx, x, k);
+        if (!kept) state_.lock(x).unlock();
+        ctx.ap.insert(x);
+        ctx.touched.push_back(x);
+      }
+      state_.t(w).fetch_sub(1, std::memory_order_acq_rel);  // 1 -> 0
+      // CAS(t,1,3) by a neighbour's CheckMCD forces a redo (line 16);
+      // A_p persists so already-visited neighbours are not re-counted.
+      if (state_.t(w).load(std::memory_order_acquire) <= 0) break;
+    }
+  }
+
+  // V* members were moved to O_{k-1} at demotion time; release them.
+  if (opts_.collect_stats) ctx.remove_vstar_hist.record(ctx.vstar.size());
+  ctx.vstar.for_each([&](VertexId w) {
+    ctx.touched.push_back(w);
+    state_.lock(w).unlock();
+  });
+  return true;
+}
+
+bool ParallelOrderMaintainer::demote_if_unsupported(WorkerCtx& ctx, VertexId x,
+                                                    CoreValue k) {
+  // Caller holds x's lock, has ensured mcd(x) is fresh and has applied
+  // the decrement. Precondition: core(x) == k.
+  if (state_.mcd(x).load(std::memory_order_relaxed) >= k) return false;
+  // <t, core> must change together (Alg. 8 line 22): publishing t=2
+  // before core=k-1 with release ordering gives readers who observe the
+  // new core a guaranteed view of t > 0.
+  state_.t(x).store(2, std::memory_order_relaxed);
+  state_.core(x).store(k - 1, std::memory_order_release);
+  state_.mcd(x).store(kMcdEmpty, std::memory_order_relaxed);
+  ctx.vstar.insert(x);
+  ctx.rq.push_back(x);
+  // Move x to the tail of O_{k-1} NOW rather than at operation end
+  // (paper line 17): with per-demotion appends the global tail order
+  // equals the global demotion order, which is what keeps
+  // r(v) <= core(v) valid across workers — a vertex that settled
+  // (t = 0) before another worker's demotion is also POSITIONED before
+  // it, matching its exclusion from that worker's CheckMCD count.
+  state_.levels().get_or_create(k).remove(&state_.item(x));
+  state_.levels().get_or_create(k - 1).insert_tail(&state_.item(x));
+  return true;
+}
+
+void ParallelOrderMaintainer::check_mcd(VertexId x, VertexId propagating_from) {
+  // Algorithm 8 CheckMCD: recompute mcd(x) lock-free over x's neighbours.
+  // x itself is locked by this worker, so core(x) and adj(x) are stable.
+  if (state_.mcd(x).load(std::memory_order_relaxed) != kMcdEmpty) return;
+  const CoreValue cx = state_.core(x).load(std::memory_order_relaxed);
+  CoreValue m = 0;
+  for (VertexId y : graph_.neighbors(x)) {
+    // Consistent (core, t) snapshot: cores only decrease during the
+    // removal phase, so a stable double-read of core brackets t.
+    CoreValue cy;
+    std::int32_t ty;
+    for (;;) {
+      cy = state_.core(y).load(std::memory_order_acquire);
+      ty = state_.t(y).load(std::memory_order_acquire);
+      if (state_.core(y).load(std::memory_order_acquire) == cy) break;
+    }
+    if (cy >= cx) {
+      ++m;
+      continue;
+    }
+    if (cy == cx - 1 && ty > 0) {
+      // y was demoted but its propagation has not finished: count it —
+      // its visit to x will apply the decrement. If y is mid-scan we
+      // force a redo so case 3 of §4.2.2 cannot lose the update.
+      ++m;
+      if (y != propagating_from && ty == 1) {
+        std::int32_t expected = 1;
+        state_.t(y).compare_exchange_strong(expected, 3,
+                                            std::memory_order_acq_rel);
+      }
+      if (state_.t(y).load(std::memory_order_acquire) == 0) --m;
+    }
+  }
+  state_.mcd(x).store(m, std::memory_order_relaxed);
+}
+
+void ParallelOrderMaintainer::repair_dout_after_removal(int workers) {
+  // Restore d+out exactness at batch quiescence (DESIGN.md §3.1): the
+  // union of all touched sets covers every vertex whose successor set
+  // can have changed.
+  std::vector<VertexId> unique;
+  for (auto& ctx : ctxs_) {
+    for (VertexId v : ctx.touched) {
+      if (mark_[v] != epoch_) {
+        mark_[v] = epoch_;
+        unique.push_back(v);
+      }
+    }
+    ctx.touched.clear();
+  }
+  if (unique.empty()) return;
+  parallel_for(team_, workers, 0, unique.size(), [&](std::size_t i) {
+    const VertexId v = unique[i];
+    state_.dout(v).store(state_.compute_dout(graph_, v),
+                         std::memory_order_relaxed);
+  });
+}
+
+// ===========================================================================
+// Single-edge conveniences and stats
+// ===========================================================================
+
+bool ParallelOrderMaintainer::insert_edge(VertexId u, VertexId v) {
+  Edge e{u, v};
+  BatchResult r = insert_batch(std::span<const Edge>(&e, 1), 1);
+  return r.applied == 1;
+}
+
+bool ParallelOrderMaintainer::remove_edge(VertexId u, VertexId v) {
+  Edge e{u, v};
+  BatchResult r = remove_batch(std::span<const Edge>(&e, 1), 1);
+  return r.applied == 1;
+}
+
+std::size_t ParallelOrderMaintainer::detach_vertex(VertexId v, int workers) {
+  if (v >= graph_.num_vertices()) return 0;
+  const auto nbrs = graph_.neighbors(v);
+  std::vector<Edge> edges;
+  edges.reserve(nbrs.size());
+  for (VertexId u : nbrs) edges.push_back(Edge{v, u});
+  return remove_batch(edges, workers).applied;
+}
+
+std::size_t ParallelOrderMaintainer::attach_vertex(
+    VertexId v, std::span<const VertexId> neighbors, int workers) {
+  if (v >= graph_.num_vertices()) return 0;
+  std::vector<Edge> edges;
+  edges.reserve(neighbors.size());
+  for (VertexId u : neighbors) edges.push_back(Edge{v, u});
+  return insert_batch(edges, workers).applied;
+}
+
+SizeHistogram ParallelOrderMaintainer::insert_vplus_histogram() const {
+  SizeHistogram h;
+  for (const auto& ctx : ctxs_) h.merge(ctx.vplus_hist);
+  return h;
+}
+
+SizeHistogram ParallelOrderMaintainer::insert_vstar_histogram() const {
+  SizeHistogram h;
+  for (const auto& ctx : ctxs_) h.merge(ctx.vstar_hist);
+  return h;
+}
+
+SizeHistogram ParallelOrderMaintainer::remove_vstar_histogram() const {
+  SizeHistogram h;
+  for (const auto& ctx : ctxs_) h.merge(ctx.remove_vstar_hist);
+  return h;
+}
+
+}  // namespace parcore

@@ -1,0 +1,135 @@
+// Parallel-Order core maintenance — the paper's contribution (§4):
+// batches of edge insertions (Algorithms 5-7) and removals (Algorithm 8)
+// processed by P workers over shared state, synchronised by per-vertex
+// CAS locks. Only vertices in V+ (insert) / V* (remove) are ever locked.
+//
+// Key mechanics, mapped to the paper:
+//  - endpoints are locked "together" with no hold-and-wait (lock_pair);
+//  - insertion propagates in k-order through the versioned per-worker
+//    priority queue (KOrderHeap), so locks are acquired in a globally
+//    consistent order and no blocking cycle can form;
+//  - the per-vertex status word s guards (core, OM position) reads
+//    (Algorithm 6) and is bumped around every move;
+//  - removal uses conditional locks (core == K) plus the t-status
+//    protocol with CAS(t,1,3) redo to keep mcd consistent without
+//    locking neighbours;
+//  - insert and remove batches must not overlap (paper §4); the API
+//    enforces this by running one batch at a time.
+//
+// Deviations from the paper's pseudocode are listed in DESIGN.md §3.2.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "maint/core_state.h"
+#include "parallel/korder_heap.h"
+#include "support/histogram.h"
+#include "support/types.h"
+#include "support/vertex_set.h"
+#include "sync/thread_team.h"
+
+namespace parcore {
+
+struct BatchResult {
+  std::size_t applied = 0;  // edges actually inserted/removed
+  std::size_t skipped = 0;  // self-loops, duplicates, missing edges
+};
+
+class ParallelOrderMaintainer {
+ public:
+  struct Options {
+    CoreState::Options state{};
+    bool collect_stats = false;    // Fig. 1 histograms
+    bool static_partition = false; // paper's static split vs dynamic queue
+  };
+
+  /// Mutates `g`; both `g` and `team` must outlive the maintainer.
+  ParallelOrderMaintainer(DynamicGraph& g, ThreadTeam& team, Options opts);
+  ParallelOrderMaintainer(DynamicGraph& g, ThreadTeam& team)
+      : ParallelOrderMaintainer(g, team, Options()) {}
+
+  /// (Re)initialises cores/k-order/dout/mcd from the current graph.
+  void rebuild();
+
+  /// OurI: inserts a batch with `workers` parallel workers.
+  BatchResult insert_batch(std::span<const Edge> edges, int workers);
+
+  /// OurR: removes a batch with `workers` parallel workers.
+  BatchResult remove_batch(std::span<const Edge> edges, int workers);
+
+  /// Single-edge conveniences (run the same code path on worker 0).
+  bool insert_edge(VertexId u, VertexId v);
+  bool remove_edge(VertexId u, VertexId v);
+
+  /// Vertex-level updates, simulated as edge batches (paper §3.2).
+  /// detach_vertex removes every incident edge of v (v keeps its slot
+  /// with core 0); attach_vertex connects v to `neighbors`. Both return
+  /// the number of edges applied.
+  std::size_t detach_vertex(VertexId v, int workers);
+  std::size_t attach_vertex(VertexId v, std::span<const VertexId> neighbors,
+                            int workers);
+
+  CoreValue core(VertexId v) const {
+    return state_.core(v).load(std::memory_order_relaxed);
+  }
+  std::vector<CoreValue> cores() const { return state_.cores_snapshot(); }
+
+  CoreState& state() { return state_; }
+  const CoreState& state() const { return state_; }
+  DynamicGraph& graph() { return graph_; }
+
+  /// Merged Fig.-1 histograms (valid when collect_stats is set).
+  SizeHistogram insert_vplus_histogram() const;
+  SizeHistogram insert_vstar_histogram() const;
+  SizeHistogram remove_vstar_histogram() const;
+
+ private:
+  struct WorkerCtx {
+    KOrderHeap queue;
+    VertexSet vstar;
+    VertexSet inr;
+    VertexSet ap;
+    std::deque<VertexId> rq;
+    std::vector<VertexId> locked;
+    std::vector<VertexId> touched;
+    std::size_t vplus_count = 0;
+    SizeHistogram vplus_hist;
+    SizeHistogram vstar_hist;
+    SizeHistogram remove_vstar_hist;
+  };
+
+  bool insert_one(WorkerCtx& ctx, Edge e);
+  void insert_forward(WorkerCtx& ctx, VertexId w, CoreValue k);
+  void insert_backward(WorkerCtx& ctx, VertexId w, CoreValue k,
+                       OrderList& list);
+  void adjust_candidates(WorkerCtx& ctx, VertexId y, CoreValue k);
+  void finalize_insert(WorkerCtx& ctx, CoreValue k, OrderList& list);
+
+  bool remove_one(WorkerCtx& ctx, Edge e);
+  void check_mcd(VertexId x, VertexId propagating_from);
+  bool demote_if_unsupported(WorkerCtx& ctx, VertexId x, CoreValue k);
+
+  void repair_dout_after_removal(int workers);
+
+  void lock_endpoints(VertexId a, VertexId b);
+
+  template <typename Fn>
+  BatchResult run_batch(std::span<const Edge> edges, int workers, Fn&& op);
+
+  DynamicGraph& graph_;
+  ThreadTeam& team_;
+  Options opts_;
+  CoreState state_;
+  std::vector<WorkerCtx> ctxs_;
+
+  // Epoch-marked membership for deduplicating touched sets across
+  // workers without an O(n) clear per batch.
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace parcore

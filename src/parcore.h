@@ -1,0 +1,32 @@
+// Umbrella header: the public API of parcore.
+//
+//   DynamicGraph            mutable undirected graph
+//   generators / suite      synthetic workloads (ER, BA, R-MAT, grid,
+//                           temporal streams; Table-2 stand-ins)
+//   bz_decompose / park_decompose / truss_decompose
+//                           static decompositions
+//   core_query              k-core extraction, subcores, degeneracy
+//   SeqOrderMaintainer      sequential Simplified-Order maintenance
+//   TraversalMaintainer     sequential Traversal maintenance (baseline)
+//   ParallelOrderMaintainer the paper's contribution (OurI / OurR)
+//   JeMaintainer            join-edge-set parallel baseline (JEI / JER)
+//
+// See README.md for a quickstart and DESIGN.md for the architecture.
+#pragma once
+
+#include "baseline/je.h"
+#include "decomp/bz.h"
+#include "decomp/core_query.h"
+#include "decomp/park.h"
+#include "decomp/truss.h"
+#include "decomp/verify.h"
+#include "gen/generators.h"
+#include "gen/suite.h"
+#include "graph/dynamic_graph.h"
+#include "graph/edge_list.h"
+#include "maint/seq_order.h"
+#include "maint/traversal.h"
+#include "parallel/parallel_order.h"
+#include "support/rng.h"
+#include "support/timer.h"
+#include "sync/thread_team.h"

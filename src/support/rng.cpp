@@ -1,0 +1,4 @@
+#include "support/rng.h"
+
+// rng.h is header-only; this TU anchors the support library and keeps a
+// single definition point if out-of-line helpers are added later.

@@ -1,0 +1,59 @@
+// Wall-clock timing and summary statistics for the bench harness.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace parcore {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Summary of repeated measurements; ci95 uses the normal approximation
+/// (the paper reports means with 95% confidence intervals).
+struct RunStats {
+  double mean = 0.0;
+  double stdev = 0.0;
+  double ci95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+
+  static RunStats from(const std::vector<double>& samples) {
+    RunStats r;
+    r.count = samples.size();
+    if (samples.empty()) return r;
+    double sum = 0.0;
+    r.min = samples.front();
+    r.max = samples.front();
+    for (double s : samples) {
+      sum += s;
+      if (s < r.min) r.min = s;
+      if (s > r.max) r.max = s;
+    }
+    r.mean = sum / static_cast<double>(samples.size());
+    if (samples.size() > 1) {
+      double ss = 0.0;
+      for (double s : samples) ss += (s - r.mean) * (s - r.mean);
+      r.stdev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+      r.ci95 = 1.96 * r.stdev / std::sqrt(static_cast<double>(samples.size()));
+    }
+    return r;
+  }
+};
+
+}  // namespace parcore

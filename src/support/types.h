@@ -1,0 +1,63 @@
+// Fundamental vocabulary types shared by every parcore module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace parcore {
+
+/// Vertex identifier; graphs are addressed as [0, n).
+using VertexId = std::uint32_t;
+
+/// Core numbers are small non-negative integers; signed so that the
+/// "empty" sentinel used by mcd (kMcdEmpty) is representable.
+using CoreValue = std::int32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel for an unknown / invalidated max-core degree (paper: mcd = ∅).
+inline constexpr CoreValue kMcdEmpty = -1;
+
+/// An undirected edge. Orientation is meaningless for graph membership;
+/// the maintainers orient edges by k-order on the fly.
+struct Edge {
+  VertexId u{0};
+  VertexId v{0};
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Returns the edge with endpoints ordered so u <= v.
+constexpr Edge canonical(Edge e) {
+  return e.u <= e.v ? e : Edge{e.v, e.u};
+}
+
+/// Packs a canonical edge into a 64-bit key for hashing/dedup.
+constexpr std::uint64_t edge_key(Edge e) {
+  const Edge c = canonical(e);
+  return (static_cast<std::uint64_t>(c.u) << 32) | c.v;
+}
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const noexcept {
+    std::uint64_t k = edge_key(e);
+    // SplitMix64 finalizer.
+    k ^= k >> 30;
+    k *= 0xbf58476d1ce4e5b9ULL;
+    k ^= k >> 27;
+    k *= 0x94d049bb133111ebULL;
+    k ^= k >> 31;
+    return static_cast<std::size_t>(k);
+  }
+};
+
+/// Edge tagged with an event time; used by temporal graph streams.
+struct TimestampedEdge {
+  Edge e;
+  std::uint64_t time{0};
+};
+
+}  // namespace parcore

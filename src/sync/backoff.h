@@ -1,0 +1,42 @@
+// CPU-friendly busy-wait primitives.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace parcore {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff that eventually yields the time slice, keeping the
+/// locks "weakly fair" (paper §3.5) even when oversubscribed.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kMaxSpins) {
+      for (int i = 0; i < spins_; ++i) cpu_pause();
+      spins_ <<= 1;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 1; }
+
+ private:
+  static constexpr int kMaxSpins = 1 << 10;
+  int spins_ = 1;
+};
+
+}  // namespace parcore

@@ -1,0 +1,98 @@
+// CAS-based spin locks and the paper's lock idioms:
+//   - Spinlock: busy-wait lock built on compare_exchange (paper §3.5);
+//   - lock_if:  conditional lock, Algorithm 4 — acquires only while a
+//     predicate holds and never blocks on a lock whose condition failed;
+//   - lock_pair: acquires two locks "together" with no hold-and-wait, so
+//     the initial endpoint locking of Algorithms 7/8 cannot deadlock;
+//   - TicketLock: FIFO alternative used by the lock ablation bench.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sync/backoff.h"
+
+namespace parcore {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  bool try_lock() {
+    // Cheap relaxed load first: avoids cache-line ping-pong under
+    // contention (test-and-test-and-set).
+    if (flag_.load(std::memory_order_relaxed) != 0) return false;
+    std::uint32_t expected = 0;
+    return flag_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void lock() {
+    Backoff backoff;
+    while (!try_lock()) backoff.pause();
+  }
+
+  void unlock() { flag_.store(0, std::memory_order_release); }
+
+  bool is_locked() const {
+    return flag_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+/// Algorithm 4: Lock(x) with condition c. Busy-waits while c holds and
+/// the lock is taken; returns false as soon as c is observed false
+/// (either before acquiring or right after — in which case the lock is
+/// released again). Returns true with the lock held and c true.
+template <typename Cond>
+bool lock_if(Spinlock& lock, Cond&& cond) {
+  Backoff backoff;
+  while (cond()) {
+    if (lock.try_lock()) {
+      if (cond()) return true;
+      lock.unlock();
+      return false;
+    }
+    backoff.pause();
+  }
+  return false;
+}
+
+/// Acquires both locks with no hold-and-wait: holds `a` only while
+/// *try*-locking `b`, releasing `a` on failure. Waiting happens with no
+/// lock held, so this step can never participate in a deadlock cycle
+/// (paper §4.1.2 "lock u and v together at the same time").
+inline void lock_pair(Spinlock& a, Spinlock& b) {
+  Backoff backoff;
+  for (;;) {
+    a.lock();
+    if (b.try_lock()) return;
+    a.unlock();
+    backoff.pause();
+  }
+}
+
+/// FIFO ticket lock; only used for the lock-primitive ablation bench.
+class TicketLock {
+ public:
+  void lock() {
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    Backoff backoff;
+    while (serving_.load(std::memory_order_acquire) != my) backoff.pause();
+  }
+
+  void unlock() {
+    serving_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+};
+
+}  // namespace parcore

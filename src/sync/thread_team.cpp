@@ -1,0 +1,90 @@
+#include "sync/thread_team.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace parcore {
+
+int ThreadTeam::hardware_workers() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 4 : static_cast<int>(hc);
+}
+
+ThreadTeam::ThreadTeam(int max_workers) {
+  if (max_workers <= 0) max_workers = hardware_workers();
+  const int helpers = std::max(0, max_workers - 1);
+  threads_.reserve(static_cast<std::size_t>(helpers));
+  for (int i = 0; i < helpers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadTeam::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      start_cv_.wait(g, [&] {
+        return shutdown_ || (generation_ != seen && index < active_);
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadTeam::run(int workers, const std::function<void(int)>& fn) {
+  workers = std::clamp(workers, 1, max_workers());
+  if (workers == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    task_ = &fn;
+    active_ = workers;
+    remaining_ = workers - 1;  // helpers; worker 0 is this thread
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);
+  {
+    std::unique_lock<std::mutex> g(mu_);
+    done_cv_.wait(g, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+    active_ = 0;
+  }
+}
+
+void parallel_for(ThreadTeam& team, int workers, std::size_t begin,
+                  std::size_t end, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  std::atomic<std::size_t> next{begin};
+  team.run(workers, [&](int) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  });
+}
+
+}  // namespace parcore

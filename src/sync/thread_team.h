@@ -1,0 +1,54 @@
+// A persistent worker pool with fork-join semantics: run(P, fn) wakes P
+// workers, each executes fn(worker_index), and run returns when all are
+// done. Persistent threads keep per-batch dispatch overhead far below
+// the millisecond-scale measurements of the evaluation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parcore {
+
+class ThreadTeam {
+ public:
+  /// Creates a team able to serve up to `max_workers` concurrent workers
+  /// (defaults to hardware concurrency).
+  explicit ThreadTeam(int max_workers = 0);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Runs fn(worker) for worker in [0, workers); blocks until all done.
+  /// `workers` is clamped to [1, max_workers()]. Worker 0 runs on the
+  /// calling thread so run(1, fn) has no cross-thread hop.
+  void run(int workers, const std::function<void(int)>& fn);
+
+  int max_workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  static int hardware_workers();
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int active_ = 0;       // workers participating in current generation
+  int remaining_ = 0;    // workers not yet finished
+  bool shutdown_ = false;
+};
+
+/// Dynamic-chunk parallel for over [begin, end).
+void parallel_for(ThreadTeam& team, int workers, std::size_t begin,
+                  std::size_t end, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 256);
+
+}  // namespace parcore

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "decomp/bz.h"
+#include "decomp/core_query.h"
+#include "gen/generators.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+TEST(CoreQuery, KCoreMembers) {
+  // Triangle + tail: cores {2,2,2,1,1}.
+  auto g = test::make_graph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  auto cores = bz_decompose(g).core;
+  EXPECT_EQ(k_core_members(cores, 2),
+            (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(k_core_members(cores, 1).size(), 5u);
+  EXPECT_TRUE(k_core_members(cores, 3).empty());
+}
+
+TEST(CoreQuery, Summary) {
+  auto g = test::make_graph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  auto cores = bz_decompose(g).core;
+  CoreSummary s = summarize_cores(cores);
+  EXPECT_EQ(s.max_core, 2);
+  EXPECT_EQ(s.degeneracy_core_size, 3u);
+  ASSERT_EQ(s.histogram.size(), 3u);
+  EXPECT_EQ(s.histogram[1], 2u);
+  EXPECT_EQ(s.histogram[2], 3u);
+}
+
+TEST(CoreQuery, SubcoreOfConnectedRegion) {
+  // Triangle A with a dangling path (core 1) and a detached triangle B.
+  // (A closed A-path-B bridge would put the whole graph in the 2-core.)
+  auto g = test::make_graph(8, {{0, 1}, {1, 2}, {0, 2},  // triangle A
+                                {2, 3}, {3, 4},          // dangling path
+                                {5, 6}, {6, 7}, {5, 7}});  // triangle B
+  auto cores = bz_decompose(g).core;
+  EXPECT_EQ(subcore_of(g, cores, 0), (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(subcore_of(g, cores, 6), (std::vector<VertexId>{5, 6, 7}));
+  // The path vertices form their own 1-subcore.
+  EXPECT_EQ(subcore_of(g, cores, 3), (std::vector<VertexId>{3, 4}));
+  EXPECT_TRUE(subcore_of(g, cores, 99).empty());
+}
+
+TEST(CoreQuery, AllSubcoresPartitionVertices) {
+  Rng rng(5);
+  auto edges = gen_erdos_renyi(200, 600, rng);
+  auto g = DynamicGraph::from_edges(200, edges);
+  auto cores = bz_decompose(g).core;
+  auto subcores = all_subcores(g, cores);
+  std::vector<int> seen(200, 0);
+  for (const auto& sc : subcores) {
+    ASSERT_FALSE(sc.empty());
+    const CoreValue k = cores[sc.front()];
+    for (VertexId v : sc) {
+      EXPECT_EQ(cores[v], k);
+      ++seen[v];
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(CoreQuery, DegeneracyOrderIsMonotoneInCore) {
+  Rng rng(6);
+  auto g = DynamicGraph::from_edges(300, gen_barabasi_albert(300, 3, rng));
+  auto cores = bz_decompose(g).core;
+  auto order = degeneracy_order(cores);
+  ASSERT_EQ(order.size(), 300u);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(cores[order[i - 1]], cores[order[i]]);
+}
+
+TEST(CoreQuery, KCoreSubgraphInducesCorrectEdges) {
+  auto g = test::make_graph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  auto cores = bz_decompose(g).core;
+  std::vector<VertexId> mapping;
+  DynamicGraph sub = k_core_subgraph(g, cores, 2, &mapping);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // the triangle
+  EXPECT_EQ(mapping[3], kInvalidVertex);
+  EXPECT_NE(mapping[0], kInvalidVertex);
+}
+
+TEST(CoreQuery, KCoreSubgraphIsItsOwnKCore) {
+  // Property: every vertex of the k-core subgraph has degree >= k there.
+  Rng rng(7);
+  auto g = DynamicGraph::from_edges(400, gen_rmat(9, 1600, RmatParams{}, rng));
+  auto cores = bz_decompose(g).core;
+  CoreSummary s = summarize_cores(cores);
+  for (CoreValue k = 1; k <= s.max_core; ++k) {
+    DynamicGraph sub = k_core_subgraph(g, cores, k);
+    for (VertexId v = 0; v < sub.num_vertices(); ++v)
+      EXPECT_GE(sub.degree(v), static_cast<std::size_t>(k))
+          << "k=" << k << " v=" << v;
+  }
+}
+
+TEST(CoreQuery, DegeneracyColoringIsProper) {
+  Rng rng(8);
+  auto g = DynamicGraph::from_edges(300, gen_rmat(9, 1500, RmatParams{}, rng));
+  auto d = bz_decompose(g);
+  Coloring c = degeneracy_coloring(g, d.core);
+  // Proper colouring: no edge joins two same-coloured vertices.
+  for (const Edge& e : g.edges())
+    EXPECT_NE(c.color[e.u], c.color[e.v]) << e.u << "-" << e.v;
+  // Uses at most degeneracy + 1 colours (the core-ordering guarantee).
+  EXPECT_LE(c.colors_used, static_cast<std::uint32_t>(d.max_core) + 1);
+}
+
+TEST(CoreQuery, DegeneracyColoringOnBipartite) {
+  // Even cycle: 2-degenerate but 2-colourable; bound allows 3.
+  auto g = DynamicGraph::from_edges(10, gen_cycle(10));
+  auto d = bz_decompose(g);
+  Coloring c = degeneracy_coloring(g, d.core);
+  for (const Edge& e : g.edges()) EXPECT_NE(c.color[e.u], c.color[e.v]);
+  EXPECT_LE(c.colors_used, 3u);
+}
+
+TEST(CoreQuery, DegeneracyColoringClique) {
+  auto g = DynamicGraph::from_edges(7, gen_clique(7));
+  auto d = bz_decompose(g);
+  Coloring c = degeneracy_coloring(g, d.core);
+  EXPECT_EQ(c.colors_used, 7u);  // K7 needs exactly 7
+  for (const Edge& e : g.edges()) EXPECT_NE(c.color[e.u], c.color[e.v]);
+}
+
+TEST(CoreQuery, EmptyGraph) {
+  DynamicGraph g(0);
+  std::vector<CoreValue> cores;
+  EXPECT_TRUE(k_core_members(cores, 1).empty());
+  CoreSummary s = summarize_cores(cores);
+  EXPECT_EQ(s.max_core, 0);
+  EXPECT_TRUE(all_subcores(g, cores).empty());
+}
+
+}  // namespace
+}  // namespace parcore

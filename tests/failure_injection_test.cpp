@@ -1,0 +1,166 @@
+// Defensive-behaviour tests: malformed inputs, degenerate graphs, and
+// batches designed to hit skip paths everywhere.
+#include <gtest/gtest.h>
+
+#include "baseline/je.h"
+#include "gen/generators.h"
+#include "maint/seq_order.h"
+#include "maint/traversal.h"
+#include "parallel/parallel_order.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+using test::Family;
+
+TEST(FailureInjection, EmptyBatches) {
+  auto g = test::make_graph(4, {{0, 1}, {1, 2}});
+  ThreadTeam team(4);
+  ParallelOrderMaintainer m(g, team);
+  std::vector<Edge> empty;
+  BatchResult ri = m.insert_batch(empty, 4);
+  BatchResult rr = m.remove_batch(empty, 4);
+  EXPECT_EQ(ri.applied, 0u);
+  EXPECT_EQ(rr.applied, 0u);
+  test::expect_cores_match(g, m.cores(), "empty");
+}
+
+TEST(FailureInjection, AllInvalidEdgesBatch) {
+  auto g = test::make_graph(4, {{0, 1}, {1, 2}});
+  ThreadTeam team(4);
+  ParallelOrderMaintainer m(g, team);
+  std::vector<Edge> bad{{0, 0}, {1, 1}, {9, 10}, {0, 99}, {0, 1}};
+  BatchResult r = m.insert_batch(bad, 4);
+  EXPECT_EQ(r.applied, 0u);
+  EXPECT_EQ(r.skipped, bad.size());
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(FailureInjection, RemoveBatchOfAbsentEdges) {
+  auto g = test::make_graph(4, {{0, 1}});
+  ThreadTeam team(4);
+  ParallelOrderMaintainer m(g, team);
+  std::vector<Edge> absent{{2, 3}, {0, 2}, {1, 3}, {0, 0}};
+  BatchResult r = m.remove_batch(absent, 4);
+  EXPECT_EQ(r.applied, 0u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(FailureInjection, BatchEntirelyDuplicatesOfOneEdge) {
+  // Maximal same-pair contention: every worker fights for one edge.
+  auto g = test::make_graph(4, {{0, 1}, {1, 2}});
+  ThreadTeam team(8);
+  ParallelOrderMaintainer m(g, team);
+  std::vector<Edge> dup(500, Edge{2, 3});
+  BatchResult r = m.insert_batch(dup, 8);
+  EXPECT_EQ(r.applied, 1u);
+  EXPECT_EQ(r.skipped, 499u);
+  test::expect_cores_match(g, m.cores(), "dup flood");
+  BatchResult rr = m.remove_batch(dup, 8);
+  EXPECT_EQ(rr.applied, 1u);
+}
+
+TEST(FailureInjection, SingleVertexAndEmptyGraphs) {
+  DynamicGraph g1(1);
+  ThreadTeam team(2);
+  ParallelOrderMaintainer m1(g1, team);
+  EXPECT_EQ(m1.core(0), 0);
+  EXPECT_FALSE(m1.insert_edge(0, 0));
+
+  DynamicGraph g0(0);
+  ParallelOrderMaintainer m0(g0, team);
+  std::vector<Edge> batch{{0, 1}};
+  EXPECT_EQ(m0.insert_batch(batch, 2).applied, 0u);
+}
+
+TEST(FailureInjection, TwoVertexGraphLifecycle) {
+  DynamicGraph g(2);
+  ThreadTeam team(2);
+  ParallelOrderMaintainer m(g, team);
+  EXPECT_TRUE(m.insert_edge(0, 1));
+  EXPECT_EQ(m.core(0), 1);
+  EXPECT_TRUE(m.remove_edge(0, 1));
+  EXPECT_EQ(m.core(0), 0);
+  EXPECT_FALSE(m.remove_edge(0, 1));
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(FailureInjection, SequentialMaintainersRejectConsistently) {
+  auto g1 = test::make_graph(3, {{0, 1}});
+  auto g2 = test::make_graph(3, {{0, 1}});
+  SeqOrderMaintainer seq(g1);
+  TraversalMaintainer trav(g2);
+  for (auto [u, v] : {std::pair<VertexId, VertexId>{0, 0},
+                      {0, 1},    // duplicate
+                      {0, 9},    // out of range
+                      {7, 8}}) {
+    EXPECT_EQ(seq.insert_edge(u, v), trav.insert_edge(u, v))
+        << u << "," << v;
+  }
+}
+
+TEST(FailureInjection, JeRejectsMalformedBatch) {
+  auto g = test::make_graph(4, {{0, 1}, {1, 2}});
+  ThreadTeam team(4);
+  JeMaintainer m(g, team);
+  std::vector<Edge> bad{{0, 0}, {9, 10}, {0, 1}, {2, 3}};
+  EXPECT_EQ(m.insert_batch(bad, 4), 1u);  // only (2,3); (0,1) is a dup
+  EXPECT_EQ(m.remove_batch(bad, 4), 2u);  // removes (0,1) and (2,3)
+}
+
+TEST(FailureInjection, RemoveEverythingTwice) {
+  Rng rng(3);
+  auto edges = gen_erdos_renyi(100, 300, rng);
+  auto g = DynamicGraph::from_edges(100, edges);
+  ThreadTeam team(8);
+  ParallelOrderMaintainer m(g, team);
+  EXPECT_EQ(m.remove_batch(edges, 8).applied, edges.size());
+  EXPECT_EQ(m.remove_batch(edges, 8).applied, 0u);
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(m.core(v), 0);
+  // And build it all back.
+  EXPECT_EQ(m.insert_batch(edges, 8).applied, edges.size());
+  test::expect_cores_match(g, m.cores(), "rebuilt");
+}
+
+TEST(FailureInjection, InterleavedDupAndValidEdges) {
+  test::Workload w = test::make_workload(Family::kEr, 200, 0.3, 7);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(8);
+  ParallelOrderMaintainer m(g, team);
+  // Triple every batch edge so workers race on duplicates constantly.
+  std::vector<Edge> tripled;
+  for (const Edge& e : w.batch) {
+    tripled.push_back(e);
+    tripled.push_back(Edge{e.v, e.u});
+    tripled.push_back(e);
+  }
+  BatchResult r = m.insert_batch(tripled, 8);
+  EXPECT_EQ(r.applied, w.batch.size());
+  test::expect_cores_match(g, m.cores(), "tripled");
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(FailureInjection, MaxCoreGrowthThroughRepeatedCliques) {
+  // Drive the level directory through repeated growth: build cliques of
+  // increasing size on the same vertex set.
+  DynamicGraph g(24);
+  ThreadTeam team(4);
+  ParallelOrderMaintainer m(g, team);
+  for (std::size_t size = 3; size <= 24; size += 3) {
+    std::vector<Edge> batch;
+    for (VertexId u = 0; u < size; ++u)
+      for (VertexId v = u + 1; v < size; ++v)
+        if (!g.has_edge(u, v)) batch.push_back(Edge{u, v});
+    m.insert_batch(batch, 4);
+    test::expect_cores_match(g, m.cores(),
+                             "clique " + std::to_string(size));
+  }
+  EXPECT_EQ(m.core(0), 23);
+}
+
+}  // namespace
+}  // namespace parcore

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.h"
+#include "graph/edge_list.h"
+#include "support/types.h"
+
+namespace parcore {
+namespace {
+
+void expect_simple(const std::vector<Edge>& edges, std::size_t n) {
+  std::set<std::uint64_t> keys;
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.u, e.v) << "self loop";
+    EXPECT_LT(e.u, n);
+    EXPECT_LT(e.v, n);
+    EXPECT_TRUE(keys.insert(edge_key(e)).second) << "duplicate edge";
+  }
+}
+
+TEST(Generators, ErdosRenyiExactCountAndSimple) {
+  Rng rng(1);
+  auto edges = gen_erdos_renyi(500, 2000, rng);
+  EXPECT_EQ(edges.size(), 2000u);
+  expect_simple(edges, 500);
+}
+
+TEST(Generators, ErdosRenyiClampsToCompleteGraph) {
+  Rng rng(1);
+  auto edges = gen_erdos_renyi(5, 1000, rng);
+  EXPECT_EQ(edges.size(), 10u);  // C(5,2)
+}
+
+TEST(Generators, BarabasiAlbertDegreesAndSize) {
+  Rng rng(2);
+  const std::size_t n = 1000, k = 4;
+  auto edges = gen_barabasi_albert(n, k, rng);
+  expect_simple(edges, n);
+  // Every non-seed vertex attaches ~k edges; total ≈ n*k.
+  EXPECT_GT(edges.size(), n * k * 9 / 10);
+  std::vector<std::size_t> deg(n, 0);
+  for (const Edge& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  std::size_t min_deg = deg[0];
+  for (std::size_t d : deg) min_deg = std::min(min_deg, d);
+  EXPECT_GE(min_deg, 1u);
+}
+
+TEST(Generators, BarabasiAlbertSkewsDegrees) {
+  Rng rng(3);
+  auto edges = gen_barabasi_albert(2000, 4, rng);
+  std::vector<std::size_t> deg(2000, 0);
+  for (const Edge& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  const std::size_t max_deg = *std::max_element(deg.begin(), deg.end());
+  // Preferential attachment produces hubs far above the mean (~8).
+  EXPECT_GT(max_deg, 40u);
+}
+
+TEST(Generators, RmatBoundsAndSkew) {
+  Rng rng(4);
+  auto edges = gen_rmat(12, 10000, RmatParams{}, rng);
+  expect_simple(edges, std::size_t{1} << 12);
+  EXPECT_GT(edges.size(), 9000u);
+  std::vector<std::size_t> deg(std::size_t{1} << 12, 0);
+  for (const Edge& e : edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  EXPECT_GT(*std::max_element(deg.begin(), deg.end()), 50u);
+}
+
+TEST(Generators, GridShape) {
+  Rng rng(5);
+  auto edges = gen_grid(10, 10, 1.0, 0.0, rng);
+  // Full lattice: 2 * 10 * 9 edges.
+  EXPECT_EQ(edges.size(), 180u);
+  expect_simple(edges, 100);
+}
+
+TEST(Generators, GridKeepProbabilityThins) {
+  Rng rng(6);
+  auto full = gen_grid(50, 50, 1.0, 0.0, rng);
+  Rng rng2(6);
+  auto thin = gen_grid(50, 50, 0.5, 0.0, rng2);
+  EXPECT_LT(thin.size(), full.size() * 6 / 10);
+}
+
+TEST(Generators, TemporalTimestampsStrictlyIncrease) {
+  Rng rng(7);
+  auto stream = gen_temporal_ba(500, 3, rng);
+  ASSERT_FALSE(stream.empty());
+  for (std::size_t i = 1; i < stream.size(); ++i)
+    EXPECT_GT(stream[i].time, stream[i - 1].time);
+}
+
+TEST(Generators, TemporalRmatTimestampsStrictlyIncrease) {
+  Rng rng(8);
+  auto stream = gen_temporal_rmat(10, 2000, RmatParams{}, rng);
+  for (std::size_t i = 1; i < stream.size(); ++i)
+    EXPECT_GT(stream[i].time, stream[i - 1].time);
+}
+
+TEST(Generators, DeterministicForSeed) {
+  Rng a(11), b(11);
+  auto e1 = gen_erdos_renyi(200, 800, a);
+  auto e2 = gen_erdos_renyi(200, 800, b);
+  EXPECT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) EXPECT_EQ(e1[i], e2[i]);
+}
+
+TEST(Generators, CliqueCycleStar) {
+  EXPECT_EQ(gen_clique(6).size(), 15u);
+  EXPECT_EQ(gen_cycle(6).size(), 6u);
+  EXPECT_EQ(gen_star(6).size(), 5u);
+  EXPECT_TRUE(gen_cycle(2).empty());
+}
+
+}  // namespace
+}  // namespace parcore

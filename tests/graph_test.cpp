@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/dynamic_graph.h"
+#include "graph/edge_list.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+TEST(DynamicGraph, InsertAndQuery) {
+  DynamicGraph g(4);
+  EXPECT_TRUE(g.insert_edge(0, 1));
+  EXPECT_TRUE(g.insert_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(DynamicGraph, RejectsSelfLoopsAndDuplicates) {
+  DynamicGraph g(3);
+  EXPECT_FALSE(g.insert_edge(1, 1));
+  EXPECT_TRUE(g.insert_edge(0, 1));
+  EXPECT_FALSE(g.insert_edge(0, 1));
+  EXPECT_FALSE(g.insert_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynamicGraph, RejectsOutOfRange) {
+  DynamicGraph g(3);
+  EXPECT_FALSE(g.insert_edge(0, 3));
+  EXPECT_FALSE(g.insert_edge(7, 8));
+}
+
+TEST(DynamicGraph, RemoveEdge) {
+  DynamicGraph g(3);
+  g.insert_edge(0, 1);
+  g.insert_edge(1, 2);
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(DynamicGraph, FromEdgesDeduplicates) {
+  std::vector<Edge> edges{{0, 1}, {1, 0}, {1, 1}, {1, 2}, {0, 1}};
+  DynamicGraph g = DynamicGraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(DynamicGraph, EdgesRoundTrip) {
+  auto g = test::make_graph(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+  auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+}
+
+TEST(DynamicGraph, DegreeStatistics) {
+  auto g = test::make_graph(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 3.0 / 4.0);  // m / n per Table 2
+}
+
+TEST(DynamicGraph, AddVerticesGrows) {
+  DynamicGraph g(2);
+  g.add_vertices(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_TRUE(g.insert_edge(3, 4));
+  g.add_vertices(3);  // shrink request ignored
+  EXPECT_EQ(g.num_vertices(), 5u);
+}
+
+TEST(EdgeList, CanonicalizeDropsBadEdges) {
+  std::vector<Edge> edges{{0, 1}, {1, 0}, {2, 2}, {3, 4}, {0, 1}};
+  EXPECT_EQ(canonicalize_edges(edges), 3u);
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(EdgeList, SampleEdgesDistinctAndPresent) {
+  Rng rng(3);
+  std::vector<Edge> base;
+  for (VertexId v = 0; v + 1 < 100; ++v)
+    base.push_back(Edge{v, static_cast<VertexId>(v + 1)});
+  DynamicGraph g = DynamicGraph::from_edges(100, base);
+  auto sample = sample_edges(g, 25, rng);
+  EXPECT_EQ(sample.size(), 25u);
+  std::set<std::uint64_t> keys;
+  for (const Edge& e : sample) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    EXPECT_TRUE(keys.insert(edge_key(e)).second);
+  }
+}
+
+TEST(EdgeList, SampleClampsToEdgeCount) {
+  Rng rng(3);
+  auto g = test::make_graph(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(sample_edges(g, 100, rng).size(), 2u);
+}
+
+TEST(EdgeList, SplitBatchesEven) {
+  std::vector<Edge> edges(10, Edge{0, 1});
+  auto parts = split_batches(edges, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size() + parts[1].size() + parts[2].size(), 10u);
+  EXPECT_EQ(parts[0].size(), 4u);
+}
+
+TEST(EdgeList, FileRoundTrip) {
+  EdgeListData data;
+  data.num_vertices = 4;
+  data.has_timestamps = true;
+  data.edges = {{{0, 1}, 10}, {{1, 2}, 20}, {{2, 3}, 30}};
+  const std::string path = testing::TempDir() + "/parcore_edges.txt";
+  save_edge_list(path, data);
+  EdgeListData loaded = load_edge_list(path);
+  ASSERT_EQ(loaded.edges.size(), 3u);
+  EXPECT_TRUE(loaded.has_timestamps);
+  EXPECT_EQ(loaded.edges[1].time, 20u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, LoadSkipsComments) {
+  const std::string path = testing::TempDir() + "/parcore_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# comment\n% other\n10 20\n30 40\n", f);
+  std::fclose(f);
+  EdgeListData loaded = load_edge_list(path);
+  EXPECT_EQ(loaded.edges.size(), 2u);
+  EXPECT_EQ(loaded.num_vertices, 4u);  // compacted ids
+  EXPECT_FALSE(loaded.has_timestamps);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeList, LoadMissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/parcore.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parcore

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "maint/core_state.h"
+#include "parallel/korder_heap.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+/// Builds a path graph: all vertices core 1, O_1 = peel order.
+class KOrderHeapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = test::make_graph(8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                              {5, 6}, {6, 7}});
+    state_.initialize(g_);
+    list_ = state_.levels().get(1);
+    ASSERT_NE(list_, nullptr);
+  }
+
+  DynamicGraph g_;
+  CoreState state_;
+  OrderList* list_ = nullptr;
+};
+
+TEST_F(KOrderHeapTest, DequeueFollowsKOrder) {
+  KOrderHeap q;
+  q.reset(list_, &state_);
+  // Enqueue in scrambled order; dequeue must follow O_1.
+  std::vector<VertexId> scrambled{5, 1, 7, 3};
+  for (VertexId v : scrambled) q.enqueue(v);
+  std::vector<VertexId> order;
+  for (;;) {
+    VertexId v = q.dequeue(1);
+    if (v == kInvalidVertex) break;
+    order.push_back(v);
+    state_.lock(v).unlock();
+  }
+  ASSERT_EQ(order.size(), 4u);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_TRUE(state_.precedes_stable(order[i - 1], order[i]));
+}
+
+TEST_F(KOrderHeapTest, DuplicateEnqueueIgnored) {
+  KOrderHeap q;
+  q.reset(list_, &state_);
+  q.enqueue(3);
+  q.enqueue(3);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.contains(3));
+  VertexId v = q.dequeue(1);
+  EXPECT_EQ(v, 3u);
+  state_.lock(v).unlock();
+  EXPECT_EQ(q.dequeue(1), kInvalidVertex);
+}
+
+TEST_F(KOrderHeapTest, SkipsVerticesWithWrongCore) {
+  KOrderHeap q;
+  q.reset(list_, &state_);
+  q.enqueue(2);
+  q.enqueue(4);
+  // Simulate another worker promoting 2 past this level.
+  state_.core(2).store(2, std::memory_order_release);
+  VertexId v = q.dequeue(1);
+  EXPECT_EQ(v, 4u);
+  state_.lock(v).unlock();
+  state_.core(2).store(1, std::memory_order_release);
+}
+
+TEST_F(KOrderHeapTest, RefreshesAfterStatusBump) {
+  // The path's k-order is peeled from both ends: 0,7,1,6,2,5,3,4.
+  ASSERT_TRUE(state_.precedes_stable(2, 4));
+  KOrderHeap q;
+  q.reset(list_, &state_);
+  q.enqueue(2);
+  q.enqueue(4);
+  // Simulate a concurrent move of 2 to AFTER 4 (the last position).
+  state_.s(2).fetch_add(1);
+  list_->remove(&state_.item(2));
+  list_->insert_after(&state_.item(4), &state_.item(2));
+  state_.s(2).fetch_add(1);
+  ASSERT_TRUE(state_.precedes_stable(4, 2));
+  // Dequeue must observe the NEW order: 4 first, then 2.
+  VertexId first = q.dequeue(1);
+  ASSERT_NE(first, kInvalidVertex);
+  state_.lock(first).unlock();
+  VertexId second = q.dequeue(1);
+  ASSERT_NE(second, kInvalidVertex);
+  state_.lock(second).unlock();
+  EXPECT_EQ(first, 4u);
+  EXPECT_EQ(second, 2u);
+}
+
+TEST_F(KOrderHeapTest, RefreshesAfterRelabel) {
+  // k-order: 0,7,1,6,2,5,3,4 -> 6 precedes 2.
+  ASSERT_TRUE(state_.precedes_stable(6, 2));
+  KOrderHeap q;
+  q.reset(list_, &state_);
+  q.enqueue(6);
+  q.enqueue(2);
+  // Force relabels by hammering one insertion point with fresh items.
+  auto extra = std::make_unique<OmItem[]>(512);
+  const std::uint64_t before = list_->relabel_count();
+  for (std::size_t i = 0; i < 512; ++i) {
+    extra[i].vertex = kInvalidVertex;
+    list_->insert_after(&state_.item(0), &extra[i]);
+  }
+  EXPECT_GT(list_->relabel_count(), before);
+  VertexId first = q.dequeue(1);
+  ASSERT_EQ(first, 6u);
+  state_.lock(first).unlock();
+  VertexId second = q.dequeue(1);
+  ASSERT_EQ(second, 2u);
+  state_.lock(second).unlock();
+}
+
+TEST_F(KOrderHeapTest, DequeueReturnsLockedVertex) {
+  KOrderHeap q;
+  q.reset(list_, &state_);
+  q.enqueue(5);
+  VertexId v = q.dequeue(1);
+  ASSERT_EQ(v, 5u);
+  EXPECT_TRUE(state_.lock(5).is_locked());
+  state_.lock(5).unlock();
+}
+
+TEST_F(KOrderHeapTest, ResetClearsState) {
+  KOrderHeap q;
+  q.reset(list_, &state_);
+  q.enqueue(1);
+  q.reset(list_, &state_);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_EQ(q.dequeue(1), kInvalidVertex);
+}
+
+}  // namespace
+}  // namespace parcore

@@ -1,0 +1,163 @@
+// White-box checks of the k-order sequence dynamics the paper's
+// examples (3.1, 3.2, 4.1, 4.2) describe: where candidates, evicted
+// vertices and demoted vertices land inside the order lists.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "maint/seq_order.h"
+#include "parallel/parallel_order.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+std::vector<VertexId> level_sequence(CoreState& st, CoreValue k) {
+  OrderList* list = st.levels().get(k);
+  return list == nullptr ? std::vector<VertexId>{} : list->to_vector();
+}
+
+std::size_t position_of(const std::vector<VertexId>& seq, VertexId v) {
+  auto it = std::find(seq.begin(), seq.end(), v);
+  EXPECT_NE(it, seq.end()) << "vertex " << v << " not in sequence";
+  return static_cast<std::size_t>(it - seq.begin());
+}
+
+TEST(KOrderSemantics, PromotedCandidatesMoveToHeadOfNextLevel) {
+  // Completing a triangle promotes {0,1,2} from O_1 to O_2; they must
+  // land at the HEAD of O_2 (Algorithm 2 line 10), before the existing
+  // 2-core vertices {3,4,5}.
+  auto g = test::make_graph(6, {{0, 1}, {1, 2},             // path (core 1)
+                                {3, 4}, {4, 5}, {3, 5}});   // triangle
+  SeqOrderMaintainer m(g);
+  ASSERT_EQ(m.core(3), 2);
+  ASSERT_TRUE(m.insert_edge(0, 2));
+  ASSERT_EQ(m.core(0), 2);
+
+  auto o2 = level_sequence(m.state(), 2);
+  ASSERT_EQ(o2.size(), 6u);
+  // All promoted vertices precede all original O_2 members.
+  std::size_t worst_promoted = 0, best_original = o2.size();
+  for (VertexId v : {0u, 1u, 2u})
+    worst_promoted = std::max(worst_promoted, position_of(o2, v));
+  for (VertexId v : {3u, 4u, 5u})
+    best_original = std::min(best_original, position_of(o2, v));
+  EXPECT_LT(worst_promoted, best_original);
+}
+
+TEST(KOrderSemantics, PromotionPreservesRelativeOrderOfCandidates) {
+  // Grow a 4-clique out of a path: all four vertices promote together;
+  // their relative k-order inside O_K must be preserved in O_{K+1}.
+  DynamicGraph g(4);
+  SeqOrderMaintainer m(g);
+  std::vector<Edge> clique = {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}};
+  for (const Edge& e : clique) ASSERT_TRUE(m.insert_edge(e.u, e.v));
+
+  auto before = level_sequence(m.state(), 2);  // current top level
+  ASSERT_EQ(before.size(), 4u);
+  ASSERT_TRUE(m.insert_edge(2, 3));  // completes K4: all promote to 3
+  auto after = level_sequence(m.state(), 3);
+  ASSERT_EQ(after.size(), 4u);
+  // Same relative order.
+  for (std::size_t i = 1; i < before.size(); ++i)
+    EXPECT_LT(position_of(after, before[i - 1]),
+              position_of(after, before[i]));
+}
+
+TEST(KOrderSemantics, RemovalAppendsDemotedAtTail) {
+  // v sits in O_1; breaking the triangle demotes {0,1,2} to O_1, where
+  // they must be APPENDED (Algorithm 3 line 11) — after v.
+  auto g = test::make_graph(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  SeqOrderMaintainer m(g);
+  ASSERT_EQ(m.core(3), 1);
+  ASSERT_TRUE(m.remove_edge(1, 2));
+  auto o1 = level_sequence(m.state(), 1);
+  ASSERT_EQ(o1.size(), 4u);
+  const std::size_t pos_v = position_of(o1, 3);
+  for (VertexId demoted : {0u, 1u, 2u})
+    EXPECT_GT(position_of(o1, demoted), pos_v);
+}
+
+TEST(KOrderSemantics, BackwardEvictionWithoutPromotion) {
+  // 4-cycle plus chord: inserting the chord raises the lower endpoint's
+  // remaining out-degree above K = 2, but no 3-core exists — the
+  // propagation must end with Backward evicting everything, cores
+  // unchanged, and the reordered O_2 still a valid k-order.
+  auto g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  SeqOrderMaintainer m(g);
+  for (VertexId v = 0; v < 4; ++v) ASSERT_EQ(m.core(v), 2);
+  auto o2_before = level_sequence(m.state(), 2);
+  ASSERT_TRUE(m.insert_edge(0, 2));  // chord: Forward then full eviction
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(m.core(v), 2);
+  auto o2_after = level_sequence(m.state(), 2);
+  EXPECT_EQ(o2_before.size(), o2_after.size());
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(KOrderSemantics, ParallelPromotionLandsBeforeExistingLevel) {
+  // Same head-insertion property must hold for the parallel maintainer
+  // with contending workers: promote many triangles concurrently into a
+  // level that already has residents.
+  std::vector<Edge> base;
+  // 20 disjoint paths of 3 (future triangles), plus one resident
+  // triangle {60,61,62}.
+  for (VertexId t = 0; t < 20; ++t) {
+    const VertexId a = t * 3;
+    base.push_back(Edge{a, static_cast<VertexId>(a + 1)});
+    base.push_back(Edge{static_cast<VertexId>(a + 1),
+                        static_cast<VertexId>(a + 2)});
+  }
+  base.push_back(Edge{60, 61});
+  base.push_back(Edge{61, 62});
+  base.push_back(Edge{60, 62});
+  auto g = DynamicGraph::from_edges(63, base);
+  ThreadTeam team(8);
+  ParallelOrderMaintainer m(g, team);
+
+  std::vector<Edge> closers;
+  for (VertexId t = 0; t < 20; ++t)
+    closers.push_back(Edge{static_cast<VertexId>(t * 3),
+                           static_cast<VertexId>(t * 3 + 2)});
+  m.insert_batch(closers, 8);
+  for (VertexId v = 0; v < 60; ++v) ASSERT_EQ(m.core(v), 2) << v;
+
+  auto o2 = level_sequence(m.state(), 2);
+  ASSERT_EQ(o2.size(), 63u);
+  // The resident triangle must come after every promoted vertex.
+  const std::size_t resident_min =
+      std::min({position_of(o2, 60), position_of(o2, 61),
+                position_of(o2, 62)});
+  for (VertexId v = 0; v < 60; ++v)
+    EXPECT_LT(position_of(o2, v), resident_min + 3);
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(KOrderSemantics, GlobalOrderIsValidAfterLongMixedRun) {
+  test::Workload w = test::make_workload(test::Family::kRmat, 300, 0.5, 17);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  SeqOrderMaintainer m(g);
+  Rng rng(99);
+  auto batch = w.batch;
+  std::size_t inserted = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t i = inserted;
+         i < std::min(batch.size(), inserted + 40); ++i)
+      m.insert_edge(batch[i].u, batch[i].v);
+    inserted = std::min(batch.size(), inserted + 40);
+    // Remove a random half of what's inserted so far.
+    for (std::size_t i = 0; i < inserted; ++i)
+      if (rng.chance(0.3)) m.remove_edge(batch[i].u, batch[i].v);
+    // Reinsert everything removed.
+    for (std::size_t i = 0; i < inserted; ++i)
+      if (!g.has_edge(batch[i].u, batch[i].v))
+        m.insert_edge(batch[i].u, batch[i].v);
+    std::string err;
+    ASSERT_TRUE(m.state().check_invariants(g, &err))
+        << "round " << round << ": " << err;
+  }
+}
+
+}  // namespace
+}  // namespace parcore

@@ -1,0 +1,130 @@
+// Property tests: the OrderList against a std::vector reference model
+// under long randomized operation sequences, across group capacities
+// (small capacities force constant relabel/split/rebalance activity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "om/order_list.h"
+#include "support/rng.h"
+
+namespace parcore {
+namespace {
+
+class OmModelTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(OmModelTest, RandomOpsMatchReferenceModel) {
+  auto [capacity, seed] = GetParam();
+  Rng rng(seed);
+  constexpr std::size_t kMaxItems = 400;
+  constexpr int kOps = 4000;
+
+  OrderList list(0, capacity);
+  auto items = std::make_unique<OmItem[]>(kMaxItems);
+  for (std::size_t i = 0; i < kMaxItems; ++i)
+    items[i].vertex = static_cast<VertexId>(i);
+
+  std::vector<VertexId> model;  // reference order
+  auto model_pos = [&](VertexId v) {
+    return std::find(model.begin(), model.end(), v) - model.begin();
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const std::uint64_t kind = rng.bounded(100);
+    if (kind < 35 || model.empty()) {
+      // insert an unlinked item somewhere
+      std::vector<VertexId> free;
+      for (VertexId v = 0; v < kMaxItems; ++v)
+        if (!items[v].linked()) free.push_back(v);
+      if (free.empty()) continue;
+      const VertexId v = free[rng.bounded(free.size())];
+      const std::uint64_t where = rng.bounded(3);
+      if (where == 0 || model.empty()) {
+        list.insert_head(&items[v]);
+        model.insert(model.begin(), v);
+      } else if (where == 1) {
+        list.insert_tail(&items[v]);
+        model.push_back(v);
+      } else {
+        const VertexId after = model[rng.bounded(model.size())];
+        list.insert_after(&items[after], &items[v]);
+        model.insert(model.begin() + model_pos(after) + 1, v);
+      }
+    } else if (kind < 55 && !model.empty()) {
+      // remove a random linked item
+      const std::size_t idx = rng.bounded(model.size());
+      const VertexId v = model[idx];
+      list.remove(&items[v]);
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (model.size() >= 2) {
+      // order query between two random items
+      const std::size_t i = rng.bounded(model.size());
+      std::size_t j = rng.bounded(model.size());
+      if (i == j) continue;
+      ASSERT_EQ(OrderList::precedes(&items[model[i]], &items[model[j]]),
+                i < j)
+          << "op " << op;
+    }
+    if (op % 500 == 0) {
+      std::string err;
+      ASSERT_TRUE(list.validate(&err)) << "op " << op << ": " << err;
+      ASSERT_EQ(list.to_vector(), model) << "op " << op;
+    }
+  }
+  std::string err;
+  ASSERT_TRUE(list.validate(&err)) << err;
+  ASSERT_EQ(list.to_vector(), model);
+  // Snapshot keys must be strictly increasing along the final order.
+  for (std::size_t i = 1; i < model.size(); ++i)
+    EXPECT_LT(list.snapshot_key(&items[model[i - 1]]),
+              list.snapshot_key(&items[model[i]]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, OmModelTest,
+    ::testing::Combine(::testing::Values(2u, 4u, 16u, 64u),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return "cap" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(OmModel, AdversarialSameAnchorChurn) {
+  // Insert at one anchor, delete right after it, repeatedly — maximum
+  // label pressure at a single point with tiny groups.
+  OrderList list(0, 2);
+  auto items = std::make_unique<OmItem[]>(64);
+  items[0].vertex = 0;
+  list.insert_tail(&items[0]);
+  Rng rng(9);
+  std::vector<VertexId> live;  // items currently after anchor
+  for (int round = 0; round < 5000; ++round) {
+    if (live.size() < 32 && (live.empty() || rng.chance(0.6))) {
+      for (VertexId v = 1; v < 64; ++v) {
+        if (!items[v].linked()) {
+          items[v].vertex = v;
+          list.insert_after(&items[0], &items[v]);
+          live.insert(live.begin(), v);
+          break;
+        }
+      }
+    } else {
+      const std::size_t idx = rng.bounded(live.size());
+      list.remove(&items[live[idx]]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  std::string err;
+  ASSERT_TRUE(list.validate(&err)) << err;
+  std::vector<VertexId> expect{0};
+  expect.insert(expect.end(), live.begin(), live.end());
+  EXPECT_EQ(list.to_vector(), expect);
+}
+
+}  // namespace
+}  // namespace parcore

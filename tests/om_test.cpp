@@ -1,0 +1,190 @@
+// Sequential semantics of the Order-Maintenance list.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "om/order_list.h"
+
+namespace parcore {
+namespace {
+
+/// Test fixture owning items the way CoreState does.
+class OmTest : public ::testing::Test {
+ protected:
+  void make_items(std::size_t n) {
+    items_ = std::make_unique<OmItem[]>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      items_[i].vertex = static_cast<VertexId>(i);
+  }
+
+  OmItem* item(std::size_t i) { return &items_[i]; }
+
+  std::unique_ptr<OmItem[]> items_;
+};
+
+TEST_F(OmTest, InsertTailProducesSequence) {
+  OrderList list(0);
+  make_items(5);
+  for (std::size_t i = 0; i < 5; ++i) list.insert_tail(item(i));
+  EXPECT_EQ(list.to_vector(), (std::vector<VertexId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(list.size(), 5u);
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+}
+
+TEST_F(OmTest, InsertHeadReversesSequence) {
+  OrderList list(0);
+  make_items(4);
+  for (std::size_t i = 0; i < 4; ++i) list.insert_head(item(i));
+  EXPECT_EQ(list.to_vector(), (std::vector<VertexId>{3, 2, 1, 0}));
+}
+
+TEST_F(OmTest, InsertAfterPlacesBetween) {
+  OrderList list(0);
+  make_items(4);
+  list.insert_tail(item(0));
+  list.insert_tail(item(1));
+  list.insert_after(item(0), item(2));
+  list.insert_after(item(2), item(3));
+  EXPECT_EQ(list.to_vector(), (std::vector<VertexId>{0, 2, 3, 1}));
+}
+
+TEST_F(OmTest, PrecedesMatchesSequence) {
+  OrderList list(0);
+  make_items(6);
+  for (std::size_t i = 0; i < 6; ++i) list.insert_tail(item(i));
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      if (i != j) {
+        EXPECT_EQ(OrderList::precedes(item(i), item(j)), i < j)
+            << i << " vs " << j;
+      }
+}
+
+TEST_F(OmTest, RemoveUnlinks) {
+  OrderList list(0);
+  make_items(3);
+  for (std::size_t i = 0; i < 3; ++i) list.insert_tail(item(i));
+  list.remove(item(1));
+  EXPECT_EQ(list.to_vector(), (std::vector<VertexId>{0, 2}));
+  EXPECT_FALSE(item(1)->linked());
+  EXPECT_EQ(list.size(), 2u);
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+}
+
+TEST_F(OmTest, ReinsertAfterRemove) {
+  OrderList list(0);
+  make_items(3);
+  for (std::size_t i = 0; i < 3; ++i) list.insert_tail(item(i));
+  list.remove(item(0));
+  list.insert_after(item(2), item(0));
+  EXPECT_EQ(list.to_vector(), (std::vector<VertexId>{1, 2, 0}));
+}
+
+TEST_F(OmTest, TinyGroupCapacityForcesSplits) {
+  OrderList list(0, /*group_capacity=*/2);
+  make_items(200);
+  for (std::size_t i = 0; i < 200; ++i) list.insert_tail(item(i));
+  std::vector<VertexId> expect;
+  for (VertexId i = 0; i < 200; ++i) expect.push_back(i);
+  EXPECT_EQ(list.to_vector(), expect);
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+  EXPECT_GT(list.relabel_count(), 0u);
+}
+
+TEST_F(OmTest, RepeatedInsertAfterSamePointTriggersRelabels) {
+  // Inserting always right after the same anchor exhausts label gaps
+  // fastest — the classic worst case for list labeling.
+  OrderList list(0, 8);
+  make_items(1001);
+  list.insert_tail(item(0));
+  for (std::size_t i = 1; i <= 1000; ++i)
+    list.insert_after(item(0), item(i));
+  auto seq = list.to_vector();
+  ASSERT_EQ(seq.size(), 1001u);
+  EXPECT_EQ(seq.front(), 0u);
+  // Items appear in reverse insertion order after the anchor.
+  for (std::size_t i = 1; i < seq.size(); ++i)
+    EXPECT_EQ(seq[i], 1001 - i);
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+  EXPECT_GT(list.relabel_count(), 0u);
+}
+
+TEST_F(OmTest, MoveBetweenLists) {
+  OrderList a(1), b(2);
+  make_items(4);
+  a.insert_tail(item(0));
+  a.insert_tail(item(1));
+  b.insert_tail(item(2));
+  // Cross-list precedes falls back to level comparison.
+  EXPECT_TRUE(OrderList::precedes(item(0), item(2)));
+  EXPECT_FALSE(OrderList::precedes(item(2), item(1)));
+  // Move item 1 from a to b's head.
+  a.remove(item(1));
+  b.insert_head(item(1));
+  EXPECT_EQ(a.to_vector(), (std::vector<VertexId>{0}));
+  EXPECT_EQ(b.to_vector(), (std::vector<VertexId>{1, 2}));
+  EXPECT_TRUE(OrderList::precedes(item(1), item(2)));
+}
+
+TEST_F(OmTest, SnapshotKeysOrderConsistently) {
+  OrderList list(0);
+  make_items(10);
+  for (std::size_t i = 0; i < 10; ++i) list.insert_tail(item(i));
+  for (std::size_t i = 0; i + 1 < 10; ++i) {
+    OmKey a = list.snapshot_key(item(i));
+    OmKey b = list.snapshot_key(item(i + 1));
+    EXPECT_LT(a, b);
+  }
+}
+
+TEST_F(OmTest, QuiescentVersionStableWithoutRelabels) {
+  OrderList list(0);
+  make_items(4);
+  std::uint64_t v1 = 0, v2 = 0;
+  EXPECT_TRUE(list.quiescent_version(v1));
+  list.insert_tail(item(0));  // plain insert: no relabel
+  EXPECT_TRUE(list.quiescent_version(v2));
+  EXPECT_EQ(v1, v2);
+}
+
+TEST_F(OmTest, CompactReclaimsEmptyGroups) {
+  OrderList list(0, 4);
+  make_items(100);
+  for (std::size_t i = 0; i < 100; ++i) list.insert_tail(item(i));
+  for (std::size_t i = 10; i < 90; ++i) list.remove(item(i));
+  list.compact();
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+  EXPECT_EQ(list.size(), 20u);
+}
+
+TEST_F(OmTest, InterleavedInsertRemoveStress) {
+  OrderList list(0, 4);
+  make_items(500);
+  // Build, remove odds, reinsert after evens, verify total order.
+  for (std::size_t i = 0; i < 500; ++i) list.insert_tail(item(i));
+  for (std::size_t i = 1; i < 500; i += 2) list.remove(item(i));
+  for (std::size_t i = 1; i < 500; i += 2)
+    list.insert_after(item(i - 1), item(i));
+  std::vector<VertexId> expect;
+  for (VertexId i = 0; i < 500; ++i) expect.push_back(i);
+  EXPECT_EQ(list.to_vector(), expect);
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+}
+
+TEST_F(OmTest, EmptyListValidates) {
+  OrderList list(3);
+  std::string err;
+  EXPECT_TRUE(list.validate(&err)) << err;
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.to_vector().empty());
+}
+
+}  // namespace
+}  // namespace parcore

@@ -1,0 +1,165 @@
+// Mixed insert/remove phases: round trips, sliding windows, long
+// alternating stress runs.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/edge_list.h"
+#include "parallel/parallel_order.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+using test::Family;
+
+TEST(ParallelMixed, InsertThenRemoveRestoresCores) {
+  test::Workload w = test::make_workload(Family::kRmat, 600, 0.3, 71);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(8);
+  ParallelOrderMaintainer m(g, team);
+  auto before = m.cores();
+  m.insert_batch(w.batch, 8);
+  m.remove_batch(w.batch, 8);
+  EXPECT_EQ(m.cores(), before);
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(ParallelMixed, AlternatingBatchesStayCorrect) {
+  test::Workload w = test::make_workload(Family::kEr, 500, 0.4, 41);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(8);
+  ParallelOrderMaintainer m(g, team);
+  auto parts = split_batches(w.batch, 6);
+  // Insert two chunks, remove one, repeat — cores checked each phase.
+  std::vector<std::vector<Edge>> inserted;
+  std::size_t next_insert = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int j = 0; j < 2 && next_insert < parts.size(); ++j) {
+      m.insert_batch(parts[next_insert], 8);
+      inserted.push_back(parts[next_insert]);
+      ++next_insert;
+      test::expect_cores_match(g, m.cores(), "insert round");
+    }
+    if (!inserted.empty()) {
+      m.remove_batch(inserted.back(), 8);
+      inserted.pop_back();
+      test::expect_cores_match(g, m.cores(), "remove round");
+    }
+    std::string err;
+    ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+  }
+}
+
+TEST(ParallelMixed, SlidingWindowOverTemporalStream) {
+  // The motivating workload: a temporal stream maintained over a
+  // sliding window — every step inserts the newest edges and removes
+  // the oldest (both phases in one step).
+  Rng rng(2024);
+  auto stream = gen_temporal_ba(700, 3, rng);
+  std::vector<Edge> edges;
+  for (const auto& te : stream) edges.push_back(te.e);
+
+  const std::size_t window = edges.size() / 2;
+  const std::size_t step = window / 8;
+  auto g = DynamicGraph::from_edges(
+      700, std::span<const Edge>(edges.data(), window));
+  ThreadTeam team(8);
+  ParallelOrderMaintainer m(g, team);
+
+  std::size_t lo = 0, hi = window;
+  for (int i = 0; i < 4 && hi + step <= edges.size(); ++i) {
+    m.insert_batch(std::span<const Edge>(edges.data() + hi, step), 8);
+    m.remove_batch(std::span<const Edge>(edges.data() + lo, step), 8);
+    lo += step;
+    hi += step;
+    test::expect_cores_match(g, m.cores(),
+                             "window step " + std::to_string(i));
+  }
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(ParallelMixed, RebuildResetsState) {
+  test::Workload w = test::make_workload(Family::kBa, 300, 0.3, 8);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(4);
+  ParallelOrderMaintainer m(g, team);
+  m.insert_batch(w.batch, 4);
+  m.rebuild();  // recompute from the mutated graph
+  test::expect_cores_match(g, m.cores(), "after rebuild");
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(ParallelMixed, ManyWorkersOversubscribed) {
+  // More workers than cores on small graphs: exercises fairness paths.
+  test::Workload w = test::make_workload(Family::kRmat, 300, 0.4, 12);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(16);
+  ParallelOrderMaintainer m(g, team);
+  m.insert_batch(w.batch, 16);
+  test::expect_cores_match(g, m.cores(), "oversubscribed insert");
+  m.remove_batch(w.batch, 16);
+  test::expect_cores_match(g, m.cores(), "oversubscribed remove");
+}
+
+TEST(ParallelMixed, GridFamilyUnderHighWorkerCounts) {
+  // Road-network-like structure: tiny max core, huge flat level lists —
+  // every worker operates in the same two order lists.
+  Rng rng(55);
+  auto edges = gen_grid(40, 40, 0.95, 0.08, rng);
+  canonicalize_edges(edges);
+  rng.shuffle(edges);
+  const std::size_t cut = edges.size() / 4;
+  std::vector<Edge> batch(edges.begin(), edges.begin() + cut);
+  std::vector<Edge> base(edges.begin() + cut, edges.end());
+  auto g = DynamicGraph::from_edges(1600, base);
+  ThreadTeam team(16);
+  ParallelOrderMaintainer m(g, team);
+  for (int round = 0; round < 3; ++round) {
+    m.insert_batch(batch, 16);
+    test::expect_cores_match(g, m.cores(), "grid insert");
+    m.remove_batch(batch, 16);
+    test::expect_cores_match(g, m.cores(), "grid remove");
+  }
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err, /*check_cores=*/true))
+      << err;
+}
+
+TEST(ParallelMixed, TinyOmGroupsUnderContention) {
+  // Group capacity 2 maximises relabel/split frequency, stressing the
+  // seq-lock versioning paths of the priority queue during real batches.
+  test::Workload w = test::make_workload(Family::kBa, 400, 0.4, 66);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(8);
+  ParallelOrderMaintainer::Options opts;
+  opts.state.om_group_capacity = 2;
+  ParallelOrderMaintainer m(g, team, opts);
+  m.insert_batch(w.batch, 8);
+  test::expect_cores_match(g, m.cores(), "tiny groups insert");
+  m.remove_batch(w.batch, 8);
+  test::expect_cores_match(g, m.cores(), "tiny groups remove");
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(ParallelMixed, StressLoopWithPeriodicValidation) {
+  test::Workload w = test::make_workload(Family::kEr, 400, 0.5, 90);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(8);
+  ParallelOrderMaintainer m(g, team);
+  auto parts = split_batches(w.batch, 10);
+  for (int iter = 0; iter < 10; ++iter) {
+    m.insert_batch(parts[static_cast<std::size_t>(iter)], 8);
+    m.remove_batch(parts[static_cast<std::size_t>(iter)], 8);
+  }
+  test::expect_cores_match(g, m.cores(), "stress loop");
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err, /*check_cores=*/true))
+      << err;
+}
+
+}  // namespace
+}  // namespace parcore

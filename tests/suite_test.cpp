@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "decomp/bz.h"
+#include "gen/suite.h"
+
+namespace parcore {
+namespace {
+
+TEST(Suite, HasSixteenGraphs) {
+  auto suite = table2_suite();
+  EXPECT_EQ(suite.size(), 16u);
+  for (const auto& s : suite) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GT(s.paper_n, 0u);
+    EXPECT_GT(s.paper_m, 0u);
+  }
+}
+
+TEST(Suite, ScalabilitySubsetNamesMatchPaper) {
+  auto subset = scalability_suite();
+  ASSERT_EQ(subset.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& s : subset) names.insert(s.name);
+  EXPECT_TRUE(names.contains("livej"));
+  EXPECT_TRUE(names.contains("baidu"));
+  EXPECT_TRUE(names.contains("dbpedia"));
+  EXPECT_TRUE(names.contains("roadNet-CA"));
+}
+
+TEST(Suite, BuildsSmallScaleGraphs) {
+  for (const auto& spec : table2_suite()) {
+    SuiteGraph sg = build_suite_graph(spec, 0.02);
+    DynamicGraph g = to_graph(sg);
+    EXPECT_GT(g.num_vertices(), 0u) << spec.name;
+    EXPECT_GT(g.num_edges(), 0u) << spec.name;
+  }
+}
+
+TEST(Suite, DeterministicAcrossBuilds) {
+  auto spec = table2_suite()[0];
+  SuiteGraph a = build_suite_graph(spec, 0.02);
+  SuiteGraph b = build_suite_graph(spec, 0.02);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i)
+    EXPECT_EQ(a.edges[i], b.edges[i]);
+}
+
+TEST(Suite, TemporalGraphsCarryTimestamps) {
+  for (const auto& spec : table2_suite()) {
+    if (!spec.temporal) continue;
+    SuiteGraph sg = build_suite_graph(spec, 0.02);
+    EXPECT_FALSE(sg.temporal.empty()) << spec.name;
+    for (std::size_t i = 1; i < sg.temporal.size(); ++i)
+      EXPECT_GT(sg.temporal[i].time, sg.temporal[i - 1].time) << spec.name;
+  }
+}
+
+TEST(Suite, BaStandInHasSingleCoreValue) {
+  // The property the paper's parallelism argument hinges on.
+  for (const auto& spec : table2_suite()) {
+    if (spec.name != "BA") continue;
+    SuiteGraph sg = build_suite_graph(spec, 0.05);
+    DynamicGraph g = to_graph(sg);
+    Decomposition d = bz_decompose(g);
+    // Nearly all vertices share the max core value.
+    std::size_t at_max = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (d.core[v] == d.max_core) ++at_max;
+    EXPECT_GT(at_max, g.num_vertices() * 9 / 10);
+  }
+}
+
+TEST(Suite, RoadStandInHasTinyMaxCore) {
+  for (const auto& spec : table2_suite()) {
+    if (spec.name != "roadNet-CA") continue;
+    SuiteGraph sg = build_suite_graph(spec, 0.05);
+    DynamicGraph g = to_graph(sg);
+    Decomposition d = bz_decompose(g);
+    EXPECT_LE(d.max_core, 3);
+  }
+}
+
+}  // namespace
+}  // namespace parcore

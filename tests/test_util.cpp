@@ -1,0 +1,53 @@
+#include "test_util.h"
+
+#include "gen/generators.h"
+#include "graph/edge_list.h"
+
+namespace parcore::test {
+
+std::vector<Edge> family_edges(Family f, std::size_t n, Rng& rng) {
+  switch (f) {
+    case Family::kEr:
+      return gen_erdos_renyi(n, n * 4, rng);
+    case Family::kBa:
+      return gen_barabasi_albert(n, 4, rng);
+    case Family::kRmat: {
+      unsigned bits = 1;
+      while ((std::size_t{1} << bits) < n) ++bits;
+      return gen_rmat(bits, n * 4, RmatParams{}, rng);
+    }
+    case Family::kClique:
+      return gen_clique(std::min<std::size_t>(n, 40));
+    case Family::kPath: {
+      std::vector<Edge> e;
+      for (VertexId v = 0; v + 1 < n; ++v)
+        e.push_back(Edge{v, static_cast<VertexId>(v + 1)});
+      return e;
+    }
+    case Family::kStar:
+      return gen_star(n);
+  }
+  return {};
+}
+
+Workload make_workload(Family f, std::size_t n, double batch_fraction,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  std::vector<Edge> edges = family_edges(f, n, rng);
+  canonicalize_edges(edges);
+  rng.shuffle(edges);
+  // Vertex universe: at least n (rmat may exceed it).
+  std::size_t max_v = n;
+  for (const Edge& e : edges)
+    max_v = std::max<std::size_t>(max_v, std::max(e.u, e.v) + 1);
+  w.n = max_v;
+  const std::size_t cut =
+      static_cast<std::size_t>(static_cast<double>(edges.size()) *
+                               batch_fraction);
+  w.batch.assign(edges.begin(), edges.begin() + cut);
+  w.base.assign(edges.begin() + cut, edges.end());
+  return w;
+}
+
+}  // namespace parcore::test

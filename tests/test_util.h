@@ -1,0 +1,61 @@
+// Shared helpers for parcore tests: graph construction, differential
+// oracles and randomized workloads.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "decomp/verify.h"
+#include "graph/dynamic_graph.h"
+#include "support/rng.h"
+#include "support/types.h"
+
+namespace parcore::test {
+
+inline DynamicGraph make_graph(std::size_t n,
+                               std::initializer_list<Edge> edges) {
+  std::vector<Edge> v(edges);
+  return DynamicGraph::from_edges(n, v);
+}
+
+/// Expects `cores` to match a brute-force decomposition of g.
+inline void expect_cores_match(const DynamicGraph& g,
+                               const std::vector<CoreValue>& cores,
+                               const std::string& context) {
+  std::string err;
+  ASSERT_TRUE(verify_cores(g, cores, &err)) << context << ": " << err;
+}
+
+/// Random-graph families used by the parameterized differential sweeps.
+enum class Family { kEr, kBa, kRmat, kClique, kPath, kStar };
+
+inline const char* family_name(Family f) {
+  switch (f) {
+    case Family::kEr: return "er";
+    case Family::kBa: return "ba";
+    case Family::kRmat: return "rmat";
+    case Family::kClique: return "clique";
+    case Family::kPath: return "path";
+    case Family::kStar: return "star";
+  }
+  return "?";
+}
+
+std::vector<Edge> family_edges(Family f, std::size_t n, Rng& rng);
+
+/// Splits the edge set of a random graph into (base, batch): the batch
+/// is removed from the initial graph and used for insertion/removal
+/// experiments (the paper's protocol).
+struct Workload {
+  std::size_t n = 0;
+  std::vector<Edge> base;
+  std::vector<Edge> batch;
+};
+
+Workload make_workload(Family f, std::size_t n, double batch_fraction,
+                       std::uint64_t seed);
+
+}  // namespace parcore::test

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "decomp/truss.h"
+#include "gen/generators.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+using test::Family;
+
+TEST(Truss, TriangleIsThreeTruss) {
+  auto g = test::make_graph(3, {{0, 1}, {1, 2}, {0, 2}});
+  TrussDecomposition d = truss_decompose(g);
+  EXPECT_EQ(d.max_truss, 3);
+  for (CoreValue t : d.trussness) EXPECT_EQ(t, 3);
+}
+
+TEST(Truss, TreeIsTwoTruss) {
+  auto g = test::make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  TrussDecomposition d = truss_decompose(g);
+  EXPECT_EQ(d.max_truss, 2);
+  for (CoreValue t : d.trussness) EXPECT_EQ(t, 2);
+}
+
+TEST(Truss, CliqueIsNTruss) {
+  auto g = DynamicGraph::from_edges(6, gen_clique(6));
+  TrussDecomposition d = truss_decompose(g);
+  EXPECT_EQ(d.max_truss, 6);  // K_n is an n-truss
+  for (CoreValue t : d.trussness) EXPECT_EQ(t, 6);
+}
+
+TEST(Truss, MixedStructure) {
+  // Clique K4 on {0..3} plus a pendant triangle {3,4,5}.
+  auto g = test::make_graph(
+      6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+          {3, 4}, {4, 5}, {3, 5}});
+  TrussDecomposition d = truss_decompose(g);
+  EXPECT_EQ(d.of(Edge{0, 1}), 4);
+  EXPECT_EQ(d.of(Edge{2, 3}), 4);
+  EXPECT_EQ(d.of(Edge{3, 4}), 3);
+  EXPECT_EQ(d.of(Edge{4, 5}), 3);
+  EXPECT_EQ(d.of(Edge{0, 5}), 0);  // absent edge
+  EXPECT_EQ(d.max_truss, 4);
+}
+
+TEST(Truss, EmptyGraph) {
+  DynamicGraph g(4);
+  TrussDecomposition d = truss_decompose(g);
+  EXPECT_EQ(d.max_truss, 0);
+  EXPECT_TRUE(d.edges.empty());
+}
+
+class TrussSweep
+    : public ::testing::TestWithParam<std::tuple<Family, std::uint64_t>> {};
+
+TEST_P(TrussSweep, MatchesBruteForce) {
+  auto [family, seed] = GetParam();
+  Rng rng(seed);
+  auto edges = test::family_edges(family, 80, rng);
+  std::size_t max_v = 80;
+  for (const Edge& e : edges)
+    max_v = std::max<std::size_t>(max_v, std::max(e.u, e.v) + 1);
+  auto g = DynamicGraph::from_edges(max_v, edges);
+  TrussDecomposition fast = truss_decompose(g);
+  TrussDecomposition slow = brute_force_truss(g);
+  ASSERT_EQ(fast.edges.size(), slow.edges.size());
+  for (const Edge& e : fast.edges)
+    EXPECT_EQ(fast.of(e), slow.of(e))
+        << "edge " << e.u << "-" << e.v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TrussSweep,
+    ::testing::Combine(::testing::Values(Family::kEr, Family::kBa,
+                                         Family::kRmat, Family::kClique),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::string(test::family_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Truss, TrussnessBoundedByCorePlusOne) {
+  // Theory: truss(e) <= min(core(u), core(v)) + 1 for e = (u,v).
+  Rng rng(11);
+  auto g = DynamicGraph::from_edges(300, gen_rmat(9, 1200, RmatParams{}, rng));
+  TrussDecomposition d = truss_decompose(g);
+  auto cores = brute_force_cores(g);
+  for (std::size_t i = 0; i < d.edges.size(); ++i) {
+    const Edge e = d.edges[i];
+    EXPECT_LE(d.trussness[i], std::min(cores[e.u], cores[e.v]) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace parcore

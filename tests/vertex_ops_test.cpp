@@ -1,0 +1,97 @@
+// Vertex-level update APIs (paper §3.2: vertex insertion/removal as
+// edge-batch sequences).
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "parallel/parallel_order.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+using test::Family;
+
+TEST(VertexOps, DetachIsolatesVertex) {
+  auto g = test::make_graph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  ThreadTeam team(2);
+  ParallelOrderMaintainer m(g, team);
+  EXPECT_EQ(m.detach_vertex(2, 2), 3u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(m.core(2), 0);
+  test::expect_cores_match(g, m.cores(), "detach");
+}
+
+TEST(VertexOps, DetachOutOfRangeIsNoop) {
+  auto g = test::make_graph(3, {{0, 1}});
+  ThreadTeam team(2);
+  ParallelOrderMaintainer m(g, team);
+  EXPECT_EQ(m.detach_vertex(17, 2), 0u);
+}
+
+TEST(VertexOps, DetachIsolatedVertexIsNoop) {
+  auto g = test::make_graph(3, {{0, 1}});
+  ThreadTeam team(2);
+  ParallelOrderMaintainer m(g, team);
+  EXPECT_EQ(m.detach_vertex(2, 2), 0u);
+  EXPECT_EQ(m.core(2), 0);
+}
+
+TEST(VertexOps, AttachJoinsCommunity) {
+  // Vertex 4 starts isolated; attaching it to a triangle makes it core 2
+  // only if it gets >= 2 edges into the 2-core.
+  auto g = test::make_graph(5, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  ThreadTeam team(2);
+  ParallelOrderMaintainer m(g, team);
+  std::vector<VertexId> nbrs{0, 1, 2};
+  EXPECT_EQ(m.attach_vertex(4, nbrs, 2), 3u);
+  EXPECT_EQ(m.core(4), 3);  // K4 now
+  test::expect_cores_match(g, m.cores(), "attach");
+}
+
+TEST(VertexOps, AttachSkipsSelfAndDuplicates) {
+  auto g = test::make_graph(4, {{0, 1}, {2, 3}});
+  ThreadTeam team(2);
+  ParallelOrderMaintainer m(g, team);
+  std::vector<VertexId> nbrs{0, 0, 2, 2};
+  EXPECT_EQ(m.attach_vertex(0, nbrs, 2), 1u);  // only (0,2) applies
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(VertexOps, DetachThenReattachRestoresCores) {
+  test::Workload w = test::make_workload(Family::kRmat, 300, 0.0, 42);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(4);
+  ParallelOrderMaintainer m(g, team);
+  auto before = m.cores();
+
+  const VertexId target = 5;
+  std::vector<VertexId> saved(g.neighbors(target).begin(),
+                              g.neighbors(target).end());
+  const std::size_t removed = m.detach_vertex(target, 4);
+  EXPECT_EQ(removed, saved.size());
+  EXPECT_EQ(m.core(target), 0);
+  test::expect_cores_match(g, m.cores(), "after detach");
+
+  EXPECT_EQ(m.attach_vertex(target, saved, 4), saved.size());
+  EXPECT_EQ(m.cores(), before);
+  std::string err;
+  ASSERT_TRUE(m.state().check_invariants(g, &err)) << err;
+}
+
+TEST(VertexOps, HubRemovalCascades) {
+  // Removing the hub of a wheel graph drops the rim from core 3 to 2.
+  std::vector<Edge> edges = gen_cycle(8);
+  for (VertexId v = 0; v < 8; ++v) edges.push_back(Edge{8, v});
+  auto g = DynamicGraph::from_edges(9, edges);
+  ThreadTeam team(4);
+  ParallelOrderMaintainer m(g, team);
+  ASSERT_EQ(m.core(8), 3);
+  ASSERT_EQ(m.core(0), 3);
+  EXPECT_EQ(m.detach_vertex(8, 4), 8u);
+  EXPECT_EQ(m.core(8), 0);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(m.core(v), 2);
+  test::expect_cores_match(g, m.cores(), "wheel");
+}
+
+}  // namespace
+}  // namespace parcore
