@@ -1,6 +1,8 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -102,6 +104,122 @@ AlgoTimes time_je(const PreparedWorkload& w, ThreadTeam& team, int workers,
     rem.push_back(t.elapsed_ms());
   }
   return AlgoTimes{RunStats::from(ins), RunStats::from(rem)};
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os << std::setprecision(12) << num_;
+      out += os.str();
+      break;
+    }
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::string write_bench_json(const std::string& name, const Json& payload) {
+  const std::string dir = env_str("PARCORE_BENCH_JSON_DIR", ".");
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream f(path);
+  f << payload.dump(2) << "\n";
+  f.close();
+  if (!f) {
+    std::fprintf(stderr, "FAILED to write %s (bad PARCORE_BENCH_JSON_DIR?)\n",
+                 path.c_str());
+    return "";
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return path;
 }
 
 Table::Table(std::vector<std::string> headers) {

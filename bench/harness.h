@@ -10,10 +10,14 @@
 //                          paper uses 50)
 //   PARCORE_BENCH_MAX_WORKERS  top of the worker sweep (default 16)
 //   PARCORE_BENCH_FAST     set to 1 for a quick smoke run
+//   PARCORE_BENCH_JSON_DIR directory for machine-readable BENCH_*.json
+//                          result files (default: current directory)
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/je.h"
@@ -65,6 +69,50 @@ AlgoTimes time_parallel_order(const PreparedWorkload& w, ThreadTeam& team,
 /// Times JEI/JER on the prepared workload.
 AlgoTimes time_je(const PreparedWorkload& w, ThreadTeam& team, int workers,
                   int reps);
+
+/// Minimal JSON value/emitter for the BENCH_* trajectory files. Only
+/// what the benches need: objects (insertion-ordered), arrays, numbers,
+/// strings, bools. Integral numbers print without a decimal point so
+/// counters stay exact.
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(double v) : kind_(Kind::kDouble), num_(v) {}
+  // Counters are stored signed so negative ints (deltas, error codes)
+  // round-trip; bench counters never approach INT64_MAX.
+  Json(std::uint64_t v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}
+  Json(const char* v) : Json(std::string(v)) {}
+
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  /// Sets a key on an object (keeps first-set order); returns *this.
+  Json& set(const std::string& key, Json value);
+  /// Appends to an array; returns *this.
+  Json& push(Json value);
+
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kDouble, kInt, kBool, kString, kObject, kArray };
+  explicit Json(Kind k) : kind_(k) {}
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool bool_ = false;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> members_;  // object
+  std::vector<Json> items_;                            // array
+};
+
+/// Writes `payload` to "<PARCORE_BENCH_JSON_DIR>/BENCH_<name>.json"
+/// (pretty-printed) and prints the path. Returns the path written.
+std::string write_bench_json(const std::string& name, const Json& payload);
 
 /// Minimal fixed-width table printer.
 class Table {

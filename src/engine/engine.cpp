@@ -1,0 +1,154 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "support/timer.h"
+
+namespace parcore::engine {
+
+std::vector<VertexId> EngineSnapshot::kcore_members(CoreValue k) const {
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < cores.size(); ++v)
+    if (cores[v] >= k) members.push_back(v);
+  return members;
+}
+
+StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
+                                 Options opts)
+    : graph_(g),
+      opts_(opts),
+      maintainer_(g, team, opts.maintainer),
+      queue_(opts.shards),
+      threshold_(std::max<std::size_t>(1, opts.flush_threshold)) {
+  publish_snapshot();  // epoch 0: the initial decomposition
+}
+
+StreamingEngine::~StreamingEngine() { stop(); }
+
+void StreamingEngine::start() {
+  if (running_) return;
+  notifier_.reset();  // clear a previous stop(): start/stop can cycle
+  running_ = true;
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+void StreamingEngine::stop() {
+  if (running_) {
+    notifier_.request_stop();
+    scheduler_.join();
+    running_ = false;
+  }
+  // Final drain on the caller's thread: catches updates submitted after
+  // the scheduler observed the stop request, and serves engines that
+  // were never start()ed.
+  if (queue_.approx_size() > 0) flush_now();
+}
+
+void StreamingEngine::submit(const GraphUpdate& u) {
+  const std::size_t prev = queue_.push(u);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Wake the scheduler only on the threshold CROSSING, not on every
+  // push above it — otherwise all producers serialise on the notifier
+  // mutex for the whole duration of a flush. Backlog that accumulates
+  // while a flush is running re-crosses after the drain (the counter
+  // restarts near zero), and the interval timeout covers the rest.
+  const std::size_t threshold = threshold_.load(std::memory_order_relaxed);
+  if (prev < threshold && prev + 1 >= threshold) notifier_.notify();
+}
+
+void StreamingEngine::scheduler_loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      opts_.flush_interval_ms);
+  for (;;) {
+    notifier_.wait_for(interval);
+    const bool stopping = notifier_.stop_requested();
+    if (queue_.approx_size() > 0) {
+      std::lock_guard<std::mutex> lk(flush_mu_);
+      flush_locked();
+    }
+    if (stopping) return;
+  }
+}
+
+std::uint64_t StreamingEngine::flush_now() {
+  std::lock_guard<std::mutex> lk(flush_mu_);
+  return flush_locked();
+}
+
+std::uint64_t StreamingEngine::flush_locked() {
+  WallTimer timer;
+
+  std::vector<GraphUpdate> raw;
+  queue_.drain(raw);
+
+  CoalescedBatch batch = coalesce(raw, graph_);
+  BatchResult ins, rem;
+  // Disjoint by construction, so the two sequential maintainer calls
+  // are exactly the paper's non-overlapping batch protocol. Removes run
+  // first so a flush never makes the graph transiently denser than its
+  // final state.
+  if (!batch.removes.empty())
+    rem = maintainer_.remove_batch(batch.removes, opts_.workers);
+  if (!batch.inserts.empty())
+    ins = maintainer_.insert_batch(batch.inserts, opts_.workers);
+
+  publish_snapshot();
+
+  const double flush_ms = timer.elapsed_ms();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.epochs;
+    stats_.applied_inserts += ins.applied;
+    stats_.applied_removes += rem.applied;
+    stats_.skipped += ins.skipped + rem.skipped;
+    stats_.coalesce += batch.stats;
+    stats_.flush_us.record(static_cast<std::size_t>(flush_ms * 1000.0));
+    stats_.batch_sizes.record(raw.size());
+  }
+  if (opts_.adaptive) adapt_threshold(flush_ms, raw.size());
+  return snapshot()->epoch;
+}
+
+void StreamingEngine::publish_snapshot() {
+  auto snap = std::make_shared<EngineSnapshot>();
+  snap->cores = maintainer_.cores();
+  snap->max_core = maintainer_.state().max_core();
+  snap->num_edges = graph_.num_edges();
+  snap_mu_.lock();
+  snap->epoch = snap_ ? snap_->epoch + 1 : 0;
+  snap_ = std::move(snap);
+  snap_mu_.unlock();
+}
+
+void StreamingEngine::adapt_threshold(double flush_ms, std::size_t raw) {
+  if (raw == 0 || flush_ms <= 0.0) return;
+  // One multiplicative step per flush toward the latency target;
+  // damped (sqrt) so a single outlier flush cannot swing the threshold
+  // by more than ~2x.
+  const double ratio = opts_.target_flush_ms / flush_ms;
+  const double step = std::clamp(std::sqrt(ratio), 0.5, 2.0);
+  const auto cur = threshold_.load(std::memory_order_relaxed);
+  const auto next = static_cast<std::size_t>(
+      std::clamp(static_cast<double>(cur) * step,
+                 static_cast<double>(opts_.min_threshold),
+                 static_cast<double>(opts_.max_threshold)));
+  threshold_.store(next, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const EngineSnapshot> StreamingEngine::snapshot() const {
+  snap_mu_.lock();
+  std::shared_ptr<const EngineSnapshot> s = snap_;
+  snap_mu_.unlock();
+  return s;
+}
+
+EngineStats StreamingEngine::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  EngineStats s = stats_;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace parcore::engine

@@ -1,0 +1,185 @@
+// The streaming update engine: a continuously running service core
+// wrapped around ParallelOrderMaintainer.
+//
+// Three layers (DESIGN.md §6):
+//   1. ingest   — any number of producer threads submit interleaved
+//                 insert/remove updates into a sharded buffer
+//                 (engine/ingest.h); submission never blocks on graph
+//                 maintenance.
+//   2. schedule — one background scheduler thread drains the buffer
+//                 when it crosses a size threshold or a staleness
+//                 deadline, coalesces the drain (engine/coalesce.h)
+//                 into the disjoint batches the maintainer requires,
+//                 and applies them on a ThreadTeam. An adaptive policy
+//                 steers the size threshold toward a target flush
+//                 latency.
+//   3. query    — readers get epoch snapshots: an immutable core-number
+//                 vector published after each flush. Queries never wait
+//                 on graph maintenance (only on a spinlock held for a
+//                 pointer copy) and always see a state that existed at
+//                 some epoch boundary — never a half-applied batch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/coalesce.h"
+#include "engine/ingest.h"
+#include "graph/dynamic_graph.h"
+#include "parallel/parallel_order.h"
+#include "support/histogram.h"
+#include "support/types.h"
+#include "sync/notify.h"
+#include "sync/spinlock.h"
+#include "sync/thread_team.h"
+
+namespace parcore::engine {
+
+/// Immutable view of the maintained state at one epoch boundary.
+/// Epoch 0 is the initial decomposition; epoch e > 0 is after e flushes.
+struct EngineSnapshot {
+  std::uint64_t epoch = 0;
+  std::vector<CoreValue> cores;
+  CoreValue max_core = 0;
+  std::size_t num_edges = 0;
+
+  CoreValue core(VertexId v) const {
+    return v < cores.size() ? cores[v] : 0;
+  }
+  bool in_kcore(VertexId v, CoreValue k) const { return core(v) >= k; }
+
+  /// All vertices with core >= k (the k-core's vertex set).
+  std::vector<VertexId> kcore_members(CoreValue k) const;
+};
+
+/// Cumulative counters since engine construction. `flush_us` /
+/// `batch_sizes` are merged across flushes; percentiles come from
+/// SizeHistogram::percentile.
+struct EngineStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t applied_inserts = 0;
+  std::uint64_t applied_removes = 0;
+  std::uint64_t skipped = 0;  // maintainer-reported (should stay 0: the
+                              // coalescer pre-filters no-ops)
+  CoalesceStats coalesce;
+  // Exact-bucket sizes bound the per-engine footprint (~0.5 MB) and the
+  // stats() copy cost: flushes beyond 65.5 ms land in the overflow
+  // bucket, where percentile() degrades to max_seen.
+  SizeHistogram flush_us{1u << 16};    // per-flush wall time, microseconds
+  SizeHistogram batch_sizes{1u << 12}; // raw updates per flush
+};
+
+class StreamingEngine {
+ public:
+  struct Options {
+    std::size_t shards = 16;          // ingest buffer shards
+    std::size_t flush_threshold = 8192;  // buffered updates per flush
+    double flush_interval_ms = 10.0;  // max staleness of buffered updates
+    int workers = 4;                  // maintainer workers per flush
+    /// Adaptive batch policy: scale flush_threshold so that a flush
+    /// takes about target_flush_ms, clamped to [min,max]_threshold.
+    bool adaptive = false;
+    double target_flush_ms = 20.0;
+    std::size_t min_threshold = 256;
+    std::size_t max_threshold = 1u << 20;
+    ParallelOrderMaintainer::Options maintainer{};
+  };
+
+  /// Takes over `g` for its lifetime: after construction the graph must
+  /// only be mutated through the engine. `g` and `team` must outlive it.
+  /// The constructor runs the initial decomposition and publishes
+  /// epoch 0; call start() to spawn the scheduler thread.
+  StreamingEngine(DynamicGraph& g, ThreadTeam& team, Options opts);
+  StreamingEngine(DynamicGraph& g, ThreadTeam& team)
+      : StreamingEngine(g, team, Options()) {}
+  ~StreamingEngine();
+
+  StreamingEngine(const StreamingEngine&) = delete;
+  StreamingEngine& operator=(const StreamingEngine&) = delete;
+
+  /// Spawns the background scheduler. No-op if already running;
+  /// start/stop may cycle (stop then start spawns a fresh scheduler).
+  void start();
+
+  /// Drains and applies everything still buffered, then joins the
+  /// scheduler. Producers must have stopped submitting. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  // ----------------------------------------------------------- ingest
+  /// Thread-safe, non-blocking (beyond a shard spinlock); callable from
+  /// any producer thread. Out-of-range endpoints are accepted here and
+  /// rejected (counted) at coalesce time.
+  void submit(const GraphUpdate& u);
+  void submit_insert(VertexId u, VertexId v) {
+    submit(GraphUpdate{Edge{u, v}, UpdateKind::kInsert});
+  }
+  void submit_remove(VertexId u, VertexId v) {
+    submit(GraphUpdate{Edge{u, v}, UpdateKind::kRemove});
+  }
+
+  /// Synchronously drains + applies on the calling thread (the same
+  /// path the scheduler takes; serialised with it). Returns the epoch
+  /// published by this flush. Useful for tests and single-threaded use
+  /// without start().
+  std::uint64_t flush_now();
+
+  // ------------------------------------------------------------ query
+  /// The latest published snapshot; never null. O(1): hands out a
+  /// reference to the shared immutable state.
+  std::shared_ptr<const EngineSnapshot> snapshot() const;
+
+  /// Convenience point reads against the latest snapshot.
+  CoreValue core(VertexId v) const { return snapshot()->core(v); }
+  std::uint64_t epoch() const { return snapshot()->epoch; }
+
+  EngineStats stats() const;
+
+  /// Current adaptive threshold (== Options::flush_threshold when the
+  /// adaptive policy is off).
+  std::size_t current_flush_threshold() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+
+  DynamicGraph& graph() { return graph_; }
+  ParallelOrderMaintainer& maintainer() { return maintainer_; }
+
+ private:
+  void scheduler_loop();
+  std::uint64_t flush_locked();  // requires flush_mu_
+  void publish_snapshot();
+  void adapt_threshold(double flush_ms, std::size_t raw);
+
+  DynamicGraph& graph_;
+  Options opts_;
+  ParallelOrderMaintainer maintainer_;
+  IngestQueue queue_;
+  Notifier notifier_;
+
+  std::thread scheduler_;
+  bool running_ = false;
+
+  // Serialises flushes (scheduler vs flush_now) — the maintainer runs
+  // one batch at a time by contract.
+  std::mutex flush_mu_;
+  std::atomic<std::size_t> threshold_;
+
+  // Snapshot publication: writers swap the pointer under snap_mu_,
+  // readers copy the shared_ptr under the same spinlock (held for the
+  // refcount bump only).
+  mutable Spinlock snap_mu_;
+  std::shared_ptr<const EngineSnapshot> snap_;
+
+  // Stats: counters written only by the flushing thread under
+  // flush_mu_, read under stats_mu_ by stats().
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+  std::atomic<std::uint64_t> submitted_{0};
+};
+
+}  // namespace parcore::engine

@@ -1,0 +1,62 @@
+#include "engine/ingest.h"
+
+#include <functional>
+#include <thread>
+
+namespace parcore::engine {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+IngestQueue::IngestQueue(std::size_t shards) {
+  const std::size_t count = round_up_pow2(shards == 0 ? 1 : shards);
+  shards_ = std::vector<Shard>(count);
+  mask_ = count - 1;
+}
+
+IngestQueue::Shard& IngestQueue::shard_for_this_thread() {
+  // Hash the thread id once per thread; consecutive ids land on
+  // different shards. thread_local so the pin survives across pushes
+  // (per-producer FIFO within a shard).
+  thread_local const std::size_t tid_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[tid_hash & mask_];
+}
+
+std::size_t IngestQueue::push(const GraphUpdate& u) {
+  Shard& s = shard_for_this_thread();
+  s.lock.lock();
+  s.buf.push_back(u);
+  // Counted inside the critical section: once drain() can observe the
+  // update (it takes this lock), its increment has landed, so the
+  // drain-side fetch_sub can never underflow the counter.
+  const std::size_t prev = size_.fetch_add(1, std::memory_order_relaxed);
+  s.lock.unlock();
+  return prev;
+}
+
+std::size_t IngestQueue::drain(std::vector<GraphUpdate>& out) {
+  std::size_t drained = 0;
+  std::vector<GraphUpdate> grabbed;
+  for (Shard& s : shards_) {
+    grabbed.clear();
+    // Swap under the lock, splice outside it: producers stall only for
+    // the O(1) swap, not for the copy into `out`.
+    s.lock.lock();
+    grabbed.swap(s.buf);
+    s.lock.unlock();
+    drained += grabbed.size();
+    out.insert(out.end(), grabbed.begin(), grabbed.end());
+  }
+  size_.fetch_sub(drained, std::memory_order_relaxed);
+  return drained;
+}
+
+}  // namespace parcore::engine

@@ -1,0 +1,64 @@
+// Sharded multi-producer ingest buffer for raw graph updates.
+//
+// Producers append to one of S spinlock-guarded shards; the single
+// consumer (the engine's scheduler thread) drains all shards at flush
+// time. Sharding keeps producers from serialising on one lock; each
+// producer thread is pinned to a shard chosen from its thread id, so
+// the updates of ONE producer stay FIFO within a shard. Cross-producer
+// interleaving is arbitrary — exactly the guarantee a concurrent
+// submit API can give, and all the coalescer needs (it serialises
+// racing updates to the same edge in drain order).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "support/types.h"
+#include "sync/spinlock.h"
+
+namespace parcore::engine {
+
+class IngestQueue {
+ public:
+  /// `shards` is rounded up to a power of two (default 16).
+  explicit IngestQueue(std::size_t shards = 16);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Appends one update; callable concurrently from any thread.
+  /// Returns the buffered count just before this push, so callers can
+  /// detect threshold crossings without re-reading the counter.
+  std::size_t push(const GraphUpdate& u);
+
+  /// Moves every buffered update into `out` (appending) and empties the
+  /// shards. Single-consumer: callers must serialise drains themselves.
+  /// Returns the number of updates drained.
+  std::size_t drain(std::vector<GraphUpdate>& out);
+
+  /// Buffered update count. Exact with quiescent producers, otherwise a
+  /// lower bound that lags pushes by at most the in-flight ones — good
+  /// enough for flush-threshold checks.
+  std::size_t approx_size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  // One cache line per shard header so producers on different shards
+  // never ping-pong a line (the vectors' heap blocks are disjoint).
+  struct alignas(64) Shard {
+    Spinlock lock;
+    std::vector<GraphUpdate> buf;
+  };
+
+  Shard& shard_for_this_thread();
+
+  std::vector<Shard> shards_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace parcore::engine

@@ -157,6 +157,29 @@ std::vector<TimestampedEdge> gen_temporal_rmat(unsigned scale, std::size_t m,
   return out;
 }
 
+std::vector<GraphUpdate> gen_update_stream(std::span<const Edge> universe,
+                                           std::size_t ops,
+                                           double remove_fraction,
+                                           double hot_fraction, Rng& rng) {
+  std::vector<GraphUpdate> stream;
+  if (universe.empty()) return stream;
+  stream.reserve(ops);
+  // The hot subset is a contiguous prefix: ~1/64 of the universe, at
+  // least one edge. Sampling it with probability hot_fraction yields
+  // repeated edges at a rate far above the birthday bound, which is
+  // what exercises dedup and annihilation downstream.
+  const std::size_t hot = std::max<std::size_t>(1, universe.size() / 64);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::size_t idx = rng.chance(hot_fraction)
+                                ? rng.bounded(hot)
+                                : rng.bounded(universe.size());
+    const UpdateKind kind = rng.chance(remove_fraction) ? UpdateKind::kRemove
+                                                        : UpdateKind::kInsert;
+    stream.push_back(GraphUpdate{universe[idx], kind});
+  }
+  return stream;
+}
+
 std::vector<Edge> gen_clique(std::size_t n) {
   std::vector<Edge> edges;
   edges.reserve(n * (n - 1) / 2);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "support/rng.h"
@@ -45,6 +46,17 @@ std::vector<TimestampedEdge> gen_temporal_ba(std::size_t n, std::size_t k,
 /// Temporal R-MAT stream (timestamps = arrival order).
 std::vector<TimestampedEdge> gen_temporal_rmat(unsigned scale, std::size_t m,
                                                RmatParams p, Rng& rng);
+
+/// Interleaved insert/remove update stream over an edge universe, the
+/// workload shape served by the streaming engine (src/engine). Each op
+/// picks an edge from `universe` — with probability `hot_fraction` from
+/// a small hot subset, so duplicate submissions and insert/remove pairs
+/// of the same edge (annihilation fodder for the coalescer) occur
+/// naturally — and is a removal with probability `remove_fraction`.
+std::vector<GraphUpdate> gen_update_stream(std::span<const Edge> universe,
+                                           std::size_t ops,
+                                           double remove_fraction,
+                                           double hot_fraction, Rng& rng);
 
 /// Complete graph on n vertices (test helper; core = n-1 everywhere).
 std::vector<Edge> gen_clique(std::size_t n);

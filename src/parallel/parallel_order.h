@@ -14,7 +14,10 @@
 //    protocol with CAS(t,1,3) redo to keep mcd consistent without
 //    locking neighbours;
 //  - insert and remove batches must not overlap (paper §4); the API
-//    enforces this by running one batch at a time.
+//    enforces this by running one batch at a time. Callers that face an
+//    interleaved update stream should sit the streaming engine
+//    (src/engine) in front of this class — its coalescer produces
+//    exactly the disjoint batches required here.
 //
 // Deviations from the paper's pseudocode are listed in DESIGN.md §3.2.
 #pragma once

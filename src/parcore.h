@@ -10,6 +10,8 @@
 //   TraversalMaintainer     sequential Traversal maintenance (baseline)
 //   ParallelOrderMaintainer the paper's contribution (OurI / OurR)
 //   JeMaintainer            join-edge-set parallel baseline (JEI / JER)
+//   engine::StreamingEngine concurrent ingest + batch coalescing +
+//                           epoch-snapshot queries (the service core)
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 #pragma once
@@ -20,6 +22,9 @@
 #include "decomp/park.h"
 #include "decomp/truss.h"
 #include "decomp/verify.h"
+#include "engine/coalesce.h"
+#include "engine/engine.h"
+#include "engine/ingest.h"
 #include "gen/generators.h"
 #include "gen/suite.h"
 #include "graph/dynamic_graph.h"

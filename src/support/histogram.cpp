@@ -1,6 +1,7 @@
 #include "support/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace parcore {
@@ -22,6 +23,20 @@ double SizeHistogram::fraction_at_most(std::size_t bound) const {
   for (std::size_t i = 0; i <= bound && i < counts_.size(); ++i)
     acc += counts_[i];
   return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::size_t SizeHistogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total_)));
+  if (target == 0) target = 1;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    if (acc >= target) return i;
+  }
+  return max_seen_;  // target falls in the overflow bucket
 }
 
 std::string SizeHistogram::bucket_report() const {

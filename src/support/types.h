@@ -60,4 +60,17 @@ struct TimestampedEdge {
   std::uint64_t time{0};
 };
 
+/// A raw streaming update: insert or remove one edge. This is the unit
+/// accepted by the ingest layer (src/engine) and produced by the
+/// mixed-stream workload generators.
+enum class UpdateKind : std::uint8_t { kInsert, kRemove };
+
+struct GraphUpdate {
+  Edge e;
+  UpdateKind kind{UpdateKind::kInsert};
+
+  friend constexpr bool operator==(const GraphUpdate&,
+                                   const GraphUpdate&) = default;
+};
+
 }  // namespace parcore

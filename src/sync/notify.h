@@ -1,0 +1,71 @@
+// Shutdown-aware sleep/wake channel for background service threads.
+//
+// The engine's scheduler thread blocks on a Notifier between flushes:
+// producers `notify()` when the ingest buffer crosses the size
+// threshold, and the wait times out at the flush interval so buffered
+// updates never go stale. A stop request wins over both. This is a
+// plain mutex + condition_variable — the scheduler sleeps for
+// milliseconds at a time, so the spin-based primitives in spinlock.h
+// are the wrong tool here.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace parcore {
+
+class Notifier {
+ public:
+  /// Wakes one waiter (cheap; callable from any producer thread).
+  void notify() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      signalled_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  /// Re-arms after a stop (and clears any stale signal) so the channel
+  /// can serve a restarted service thread. Call only while no thread is
+  /// waiting.
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = false;
+    signalled_ = false;
+  }
+
+  /// Requests shutdown; all current and future waits return immediately.
+  void request_stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool stop_requested() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stop_;
+  }
+
+  /// Blocks until notified, stopped, or `timeout` elapses. Returns true
+  /// when woken by notify() or stop (i.e. there is something to do right
+  /// now), false on a plain timeout. Consumes the pending signal.
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const bool signalled = cv_.wait_for(
+        lk, timeout, [&] { return signalled_ || stop_; });
+    signalled_ = false;
+    return signalled;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool signalled_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace parcore

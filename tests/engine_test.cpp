@@ -1,0 +1,433 @@
+// Streaming engine: ingest buffer semantics, coalescing correctness,
+// multi-producer stress cross-checked against a fresh decomposition,
+// and epoch-snapshot consistency under concurrent flushes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+
+#include "decomp/bz.h"
+#include "engine/coalesce.h"
+#include "engine/engine.h"
+#include "engine/ingest.h"
+#include "gen/generators.h"
+#include "graph/edge_list.h"
+#include "support/histogram.h"
+#include "test_util.h"
+
+namespace parcore {
+namespace {
+
+using engine::CoalescedBatch;
+using engine::IngestQueue;
+using engine::StreamingEngine;
+
+GraphUpdate ins(VertexId u, VertexId v) {
+  return GraphUpdate{Edge{u, v}, UpdateKind::kInsert};
+}
+GraphUpdate rem(VertexId u, VertexId v) {
+  return GraphUpdate{Edge{u, v}, UpdateKind::kRemove};
+}
+
+// ------------------------------------------------------------- ingest
+
+TEST(IngestQueue, DrainReturnsEverythingOnce) {
+  IngestQueue q(4);
+  for (VertexId i = 0; i < 100; ++i) q.push(ins(i, i + 1));
+  EXPECT_EQ(q.approx_size(), 100u);
+  std::vector<GraphUpdate> out;
+  EXPECT_EQ(q.drain(out), 100u);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_EQ(q.approx_size(), 0u);
+  out.clear();
+  EXPECT_EQ(q.drain(out), 0u);
+}
+
+TEST(IngestQueue, SingleProducerOrderPreserved) {
+  // One thread maps to one shard, so its updates drain in FIFO order.
+  IngestQueue q(8);
+  for (VertexId i = 0; i < 1000; ++i) q.push(ins(i, i + 1));
+  std::vector<GraphUpdate> out;
+  q.drain(out);
+  ASSERT_EQ(out.size(), 1000u);
+  for (VertexId i = 0; i < 1000; ++i) EXPECT_EQ(out[i].e.u, i);
+}
+
+TEST(IngestQueue, ConcurrentPushersLoseNothing) {
+  IngestQueue q(8);
+  constexpr int kThreads = 8, kPer = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&q, t] {
+      for (int i = 0; i < kPer; ++i)
+        q.push(ins(static_cast<VertexId>(t), static_cast<VertexId>(i + 100)));
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<GraphUpdate> out;
+  EXPECT_EQ(q.drain(out), static_cast<std::size_t>(kThreads * kPer));
+}
+
+// ----------------------------------------------------------- coalesce
+
+TEST(Coalesce, InsertRemovePairAnnihilates) {
+  auto g = test::make_graph(4, {});
+  std::vector<GraphUpdate> ops{ins(0, 1), rem(0, 1)};
+  CoalescedBatch b = engine::coalesce(ops, g);
+  EXPECT_TRUE(b.inserts.empty());
+  EXPECT_TRUE(b.removes.empty());
+  // [insert, remove] on an absent edge: remove wins, nets to a no-op.
+  EXPECT_EQ(b.stats.noops, 1u);
+  EXPECT_EQ(b.stats.duplicates, 1u);
+}
+
+TEST(Coalesce, LastOpWinsNotPureCancellation) {
+  // remove(absent) then insert must still insert — drain order
+  // serialises the ops, it does not blindly cancel pairs.
+  auto g = test::make_graph(4, {});
+  std::vector<GraphUpdate> ops{rem(0, 1), ins(0, 1)};
+  CoalescedBatch b = engine::coalesce(ops, g);
+  ASSERT_EQ(b.inserts.size(), 1u);
+  EXPECT_EQ(b.inserts[0], (Edge{0, 1}));
+  EXPECT_TRUE(b.removes.empty());
+}
+
+TEST(Coalesce, DuplicatesCollapse) {
+  auto g = test::make_graph(4, {});
+  std::vector<GraphUpdate> ops{ins(0, 1), ins(1, 0), ins(0, 1)};
+  CoalescedBatch b = engine::coalesce(ops, g);
+  ASSERT_EQ(b.inserts.size(), 1u);  // orientation-insensitive dedup
+  EXPECT_EQ(b.stats.duplicates, 2u);
+}
+
+TEST(Coalesce, AnnihilationPairsCounted) {
+  auto g = test::make_graph(4, {});
+  // insert, remove, insert: the final insert wins; the first two form
+  // one annihilated pair.
+  std::vector<GraphUpdate> ops{ins(0, 1), rem(0, 1), ins(0, 1)};
+  CoalescedBatch b = engine::coalesce(ops, g);
+  ASSERT_EQ(b.inserts.size(), 1u);
+  EXPECT_EQ(b.stats.annihilated_pairs, 1u);
+  EXPECT_EQ(b.stats.duplicates, 0u);
+}
+
+TEST(Coalesce, NoopsAgainstGraphFiltered) {
+  auto g = test::make_graph(4, {Edge{0, 1}});
+  std::vector<GraphUpdate> ops{ins(0, 1), rem(2, 3)};
+  CoalescedBatch b = engine::coalesce(ops, g);
+  EXPECT_TRUE(b.inserts.empty());   // already present
+  EXPECT_TRUE(b.removes.empty());   // already absent
+  EXPECT_EQ(b.stats.noops, 2u);
+}
+
+TEST(Coalesce, RejectsSelfLoopsAndOutOfRange) {
+  auto g = test::make_graph(4, {});
+  std::vector<GraphUpdate> ops{ins(2, 2), ins(1, 9), rem(7, 8)};
+  CoalescedBatch b = engine::coalesce(ops, g);
+  EXPECT_TRUE(b.inserts.empty());
+  EXPECT_TRUE(b.removes.empty());
+  EXPECT_EQ(b.stats.rejected, 3u);
+}
+
+TEST(Coalesce, BatchesDisjointAndAccountingExact) {
+  // Random hot-set stream: verify the emitted batches never share an
+  // edge, match membership, and that every raw op is accounted for.
+  Rng rng(99);
+  auto edges = gen_erdos_renyi(200, 600, rng);
+  canonicalize_edges(edges);
+  const std::size_t half = edges.size() / 2;
+  auto g = DynamicGraph::from_edges(
+      200, std::span<const Edge>(edges.data(), half));
+  auto stream = gen_update_stream(edges, 20000, 0.4, 0.8, rng);
+  CoalescedBatch b = engine::coalesce(stream, g);
+
+  std::unordered_set<std::uint64_t> seen;
+  for (const Edge& e : b.inserts) {
+    EXPECT_TRUE(seen.insert(edge_key(e)).second);
+    EXPECT_FALSE(g.has_edge(e.u, e.v));
+  }
+  for (const Edge& e : b.removes) {
+    EXPECT_TRUE(seen.insert(edge_key(e)).second);
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+  EXPECT_EQ(b.stats.raw, b.stats.rejected + 2 * b.stats.annihilated_pairs +
+                             b.stats.duplicates + b.stats.noops +
+                             b.inserts.size() + b.removes.size());
+  EXPECT_GT(b.stats.annihilated_pairs, 0u);
+  EXPECT_GT(b.stats.duplicates, 0u);
+}
+
+// ------------------------------------------------------------- engine
+
+TEST(Engine, ManualFlushMatchesDecomposition) {
+  test::Workload w = test::make_workload(test::Family::kRmat, 400, 0.3, 17);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(4);
+  StreamingEngine eng(g, team);  // never start()ed: manual mode
+
+  EXPECT_EQ(eng.epoch(), 0u);
+  for (const Edge& e : w.batch) eng.submit_insert(e.u, e.v);
+  eng.flush_now();
+  EXPECT_EQ(eng.epoch(), 1u);
+  test::expect_cores_match(g, eng.snapshot()->cores, "after insert flush");
+
+  for (const Edge& e : w.batch) eng.submit_remove(e.u, e.v);
+  eng.flush_now();
+  EXPECT_EQ(eng.epoch(), 2u);
+  test::expect_cores_match(g, eng.snapshot()->cores, "after remove flush");
+}
+
+TEST(Engine, SnapshotKCoreMembership) {
+  auto edges = gen_clique(6);  // core 5 everywhere
+  auto g = DynamicGraph::from_edges(10, edges);
+  ThreadTeam team(2);
+  StreamingEngine eng(g, team);
+  auto snap = eng.snapshot();
+  EXPECT_EQ(snap->kcore_members(5).size(), 6u);
+  EXPECT_EQ(snap->kcore_members(6).size(), 0u);
+  EXPECT_TRUE(snap->in_kcore(0, 5));
+  EXPECT_FALSE(snap->in_kcore(9, 1));  // isolated vertex
+}
+
+TEST(Engine, StopFlushesTail) {
+  auto g = DynamicGraph::from_edges(8, {});
+  ThreadTeam team(2);
+  {
+    StreamingEngine eng(g, team);
+    eng.start();
+    eng.submit_insert(0, 1);
+    eng.submit_insert(1, 2);
+    eng.submit_insert(0, 2);
+    eng.stop();
+    EXPECT_EQ(eng.core(0), 2);
+  }
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Engine, StartStopCycleKeepsFlushing) {
+  auto g = DynamicGraph::from_edges(8, {});
+  ThreadTeam team(2);
+  StreamingEngine::Options opts;
+  opts.flush_interval_ms = 0.5;
+  StreamingEngine eng(g, team, opts);
+  eng.start();
+  eng.submit_insert(0, 1);
+  eng.stop();
+  eng.start();  // the restarted scheduler must be live, not stop-armed
+  eng.submit_insert(1, 2);
+  eng.submit_insert(0, 2);
+  // Interval-driven flushes must apply these without stop()'s help.
+  for (int i = 0; i < 2000 && g.num_edges() < 3; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(g.num_edges(), 3u);
+  eng.stop();
+  EXPECT_EQ(eng.core(0), 2);
+}
+
+// The acceptance-criteria stress: >= 4 producers, >= 100k interleaved
+// updates against a live engine; the final core numbers must match a
+// fresh BZ decomposition of the resulting graph for every vertex.
+//
+// Producers own disjoint edge universes, so the expected end-state is
+// the deterministic per-producer replay even though the cross-producer
+// interleaving (and the flush boundaries) are scheduler-dependent.
+TEST(Engine, MultiProducerStressMatchesDecomposition) {
+  constexpr int kProducers = 4;
+  constexpr std::size_t kOpsPerProducer = 25000;  // 100k total
+
+  Rng rng(4242);
+  const std::size_t n = 3000;
+  auto candidates = gen_erdos_renyi(n, 12000, rng);
+  canonicalize_edges(candidates);
+  rng.shuffle(candidates);
+  // First half of the candidates form the base graph; producers churn
+  // over per-producer slices of the whole candidate set.
+  const std::size_t base_count = candidates.size() / 2;
+  std::vector<Edge> base(candidates.begin(),
+                         candidates.begin() +
+                             static_cast<std::ptrdiff_t>(base_count));
+
+  std::vector<std::vector<GraphUpdate>> streams;
+  const std::size_t slice = candidates.size() / kProducers;
+  for (int p = 0; p < kProducers; ++p) {
+    std::span<const Edge> universe(candidates.data() + p * slice, slice);
+    Rng prng(1000 + static_cast<std::uint64_t>(p));
+    streams.push_back(
+        gen_update_stream(universe, kOpsPerProducer, 0.45, 0.7, prng));
+  }
+
+  auto g = DynamicGraph::from_edges(n, base);
+  ThreadTeam team(8);
+  StreamingEngine::Options opts;
+  opts.flush_threshold = 2048;
+  opts.flush_interval_ms = 1.0;
+  opts.workers = 4;
+  opts.adaptive = true;
+  opts.target_flush_ms = 4.0;
+  StreamingEngine eng(g, team, opts);
+  eng.start();
+
+  // Two waves with an explicit flush between them: guarantees the
+  // final state spans >= 2 epochs regardless of scheduler timing (the
+  // scheduler typically adds many more).
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&eng, &streams, p, wave] {
+        const auto& stream = streams[static_cast<std::size_t>(p)];
+        const std::size_t half = stream.size() / 2;
+        const std::size_t lo = wave == 0 ? 0 : half;
+        const std::size_t hi = wave == 0 ? half : stream.size();
+        for (std::size_t i = lo; i < hi; ++i) eng.submit(stream[i]);
+      });
+    }
+    for (auto& t : producers) t.join();
+    if (wave == 0) eng.flush_now();
+  }
+  eng.stop();
+
+  // Expected end state: base edges, then each producer's stream
+  // replayed sequentially (disjoint universes make the order across
+  // producers irrelevant).
+  std::unordered_set<std::uint64_t> expect_present;
+  for (const Edge& e : base) expect_present.insert(edge_key(e));
+  for (const auto& stream : streams) {
+    for (const GraphUpdate& u : stream) {
+      if (u.kind == UpdateKind::kInsert)
+        expect_present.insert(edge_key(u.e));
+      else
+        expect_present.erase(edge_key(u.e));
+    }
+  }
+  std::vector<Edge> expect_edges;
+  expect_edges.reserve(expect_present.size());
+  for (std::uint64_t key : expect_present)
+    expect_edges.push_back(Edge{static_cast<VertexId>(key >> 32),
+                                static_cast<VertexId>(key & 0xffffffffu)});
+
+  // 1. The engine's graph must be exactly the expected edge set.
+  ASSERT_EQ(g.num_edges(), expect_present.size());
+  for (const Edge& e : expect_edges) ASSERT_TRUE(g.has_edge(e.u, e.v));
+
+  // 2. Engine cores == fresh decomposition, every vertex.
+  auto expect_g = DynamicGraph::from_edges(n, expect_edges);
+  Decomposition fresh = bz_decompose(expect_g);
+  auto snap = eng.snapshot();
+  ASSERT_EQ(snap->cores.size(), n);
+  for (VertexId v = 0; v < n; ++v)
+    ASSERT_EQ(snap->cores[v], fresh.core[v]) << "vertex " << v;
+
+  // 3. The hot-set stream must have exercised the coalescer, and the
+  //    accounting must balance: every submitted op drained + bucketed.
+  engine::EngineStats st = eng.stats();
+  EXPECT_EQ(st.submitted, kProducers * kOpsPerProducer);
+  EXPECT_GE(st.epochs, 2u);
+  EXPECT_GT(st.coalesce.annihilated_pairs, 0u);
+  EXPECT_GT(st.coalesce.duplicates, 0u);
+  EXPECT_EQ(st.coalesce.raw, st.submitted);
+  EXPECT_EQ(st.coalesce.raw,
+            st.coalesce.rejected + 2 * st.coalesce.annihilated_pairs +
+                st.coalesce.duplicates + st.coalesce.noops +
+                st.applied_inserts + st.applied_removes + st.skipped);
+  // The coalescer pre-filters everything the maintainer would skip.
+  EXPECT_EQ(st.skipped, 0u);
+  EXPECT_EQ(st.flush_us.total(), st.epochs);
+
+  // 4. Invariants of the maintained order structure still hold.
+  std::string err;
+  ASSERT_TRUE(eng.maintainer().state().check_invariants(g, &err)) << err;
+}
+
+// Readers must always observe immutable, epoch-monotonic snapshots
+// while flushes are racing.
+TEST(Engine, SnapshotConsistencyUnderConcurrentFlushes) {
+  Rng rng(7);
+  const std::size_t n = 800;
+  auto candidates = gen_erdos_renyi(n, 3200, rng);
+  canonicalize_edges(candidates);
+  auto g = DynamicGraph::from_edges(
+      n, std::span<const Edge>(candidates.data(), candidates.size() / 2));
+  ThreadTeam team(4);
+  StreamingEngine::Options opts;
+  opts.flush_threshold = 512;
+  opts.flush_interval_ms = 0.5;
+  opts.workers = 2;
+  StreamingEngine eng(g, team, opts);
+  eng.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::thread reader([&] {
+    std::uint64_t last_epoch = 0;
+    std::shared_ptr<const engine::EngineSnapshot> held = eng.snapshot();
+    const std::vector<CoreValue> held_copy = held->cores;
+    while (!done.load(std::memory_order_relaxed)) {
+      auto snap = eng.snapshot();
+      if (snap->epoch < last_epoch || snap->cores.size() != n) {
+        failed.store(true);
+        return;
+      }
+      last_epoch = snap->epoch;
+    }
+    // A held snapshot is immutable: later flushes must never have
+    // touched it.
+    if (held->cores != held_copy) failed.store(true);
+  });
+
+  Rng prng(31);
+  auto stream = gen_update_stream(candidates, 60000, 0.5, 0.6, prng);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = static_cast<std::size_t>(p); i < stream.size();
+           i += 2)
+        eng.submit(stream[i]);
+    });
+  }
+  for (auto& t : producers) t.join();
+  eng.stop();
+  done.store(true);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+
+  // Final snapshot agrees with a fresh decomposition of the end state.
+  test::expect_cores_match(g, eng.snapshot()->cores, "final snapshot");
+}
+
+TEST(Engine, AdaptiveThresholdMovesTowardTarget) {
+  Rng rng(13);
+  const std::size_t n = 500;
+  auto candidates = gen_erdos_renyi(n, 2000, rng);
+  canonicalize_edges(candidates);
+  auto g = DynamicGraph::from_edges(n, {});
+  ThreadTeam team(2);
+  StreamingEngine::Options opts;
+  opts.flush_threshold = 4096;
+  opts.adaptive = true;
+  opts.target_flush_ms = 1e-6;  // unreachably fast: must shrink
+  opts.min_threshold = 16;
+  StreamingEngine eng(g, team, opts);
+  auto stream = gen_update_stream(candidates, 20000, 0.3, 0.5, rng);
+  for (const GraphUpdate& u : stream) eng.submit(u);
+  for (int i = 0; i < 6; ++i) eng.flush_now();
+  EXPECT_LT(eng.current_flush_threshold(), 4096u);
+}
+
+TEST(Histogram, PercentileBounds) {
+  SizeHistogram h(100);
+  for (std::size_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.5), 50u);
+  EXPECT_EQ(h.percentile(0.99), 99u);
+  EXPECT_EQ(h.percentile(1.0), 100u);
+  EXPECT_EQ(h.percentile(0.0), 1u);
+  SizeHistogram empty(8);
+  EXPECT_EQ(empty.percentile(0.5), 0u);
+  SizeHistogram tiny(4);
+  tiny.record(1000);  // overflow bucket
+  EXPECT_EQ(tiny.percentile(0.5), 1000u);
+}
+
+}  // namespace
+}  // namespace parcore
