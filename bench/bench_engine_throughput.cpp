@@ -1,17 +1,20 @@
 // Streaming engine throughput: sustained updates/sec as a function of
 // producer count x maintainer workers x batch policy, over a skewed
-// (R-MAT) suite graph. Each cell runs the full pipeline — concurrent
-// submit, coalesce, batched maintain, snapshot publish — and reports
-// end-to-end throughput plus p50/p99 flush latency.
+// (R-MAT) suite graph — or a real dataset when PARCORE_BENCH_INPUT
+// names a file (loaded through src/io; see docs/FORMATS.md). Each cell
+// runs the full pipeline — concurrent submit, coalesce, batched
+// maintain, snapshot publish — and reports end-to-end throughput plus
+// p50/p99 flush latency.
 //
 // Emits BENCH_engine.json (see harness.h: PARCORE_BENCH_JSON_DIR) so
-// the perf trajectory is machine-readable across PRs.
+// the perf trajectory is machine-readable across PRs. The measurement
+// cell and JSON row schema live in the harness (run_engine_cell /
+// engine_cell_json), shared with `parcore_cli bench`.
 #include <cstdio>
-#include <thread>
 
-#include "engine/engine.h"
 #include "graph/edge_list.h"
 #include "harness.h"
+#include "io/graph_reader.h"
 
 using namespace parcore;
 using namespace parcore::bench;
@@ -24,60 +27,32 @@ struct Policy {
   bool adaptive;
 };
 
-struct CellResult {
-  double seconds = 0.0;
-  double updates_per_sec = 0.0;
-  engine::EngineStats stats;
-};
-
-CellResult run_cell(const SuiteGraph& sg, const std::vector<Edge>& base,
-                    const std::vector<std::vector<GraphUpdate>>& streams,
-                    ThreadTeam& team, int workers, const Policy& policy) {
-  DynamicGraph g = DynamicGraph::from_edges(sg.num_vertices, base);
-  engine::StreamingEngine::Options opts;
-  opts.workers = workers;
-  opts.flush_threshold = policy.threshold;
-  opts.adaptive = policy.adaptive;
-  opts.flush_interval_ms = 2.0;
-  engine::StreamingEngine eng(g, team, opts);
-  eng.start();
-
-  std::size_t total_ops = 0;
-  for (const auto& s : streams) total_ops += s.size();
-
-  WallTimer timer;
-  std::vector<std::thread> producers;
-  producers.reserve(streams.size());
-  for (const auto& stream : streams) {
-    producers.emplace_back([&eng, &stream] {
-      for (const GraphUpdate& u : stream) eng.submit(u);
-    });
-  }
-  for (auto& t : producers) t.join();
-  eng.stop();  // drains the tail; included in the measured time
-  const double sec = timer.elapsed_ms() / 1000.0;
-
-  CellResult r;
-  r.seconds = sec;
-  r.updates_per_sec = sec > 0 ? static_cast<double>(total_ops) / sec : 0.0;
-  r.stats = eng.stats();
-  return r;
-}
-
 }  // namespace
 
 int main() {
   const BenchEnv env = bench_env();
   const std::size_t ops_total = env.fast ? 50000 : 400000;
 
-  // Skewed power-law stand-in: the workload shape where coalescing
-  // pays (hot edges are resubmitted and cancelled constantly).
-  SuiteSpec spec = scalability_suite().front();
-  SuiteGraph sg = build_suite_graph(spec, env.scale);
-  std::vector<Edge> all = sg.edges;
-  if (!sg.temporal.empty())
+  // Default workload: skewed power-law stand-in, the shape where
+  // coalescing pays (hot edges are resubmitted and cancelled
+  // constantly). PARCORE_BENCH_INPUT swaps in a real dataset.
+  std::string graph_name;
+  std::size_t num_vertices = 0;
+  std::vector<Edge> all;
+  if (!env.input.empty()) {
+    io::GraphData data = io::read_graph(env.input);
+    graph_name = env.input;
+    num_vertices = data.num_vertices;
+    all = io::static_edges(data);
+  } else {
+    SuiteSpec spec = scalability_suite().front();
+    SuiteGraph sg = build_suite_graph(spec, env.scale);
+    graph_name = spec.name;
+    num_vertices = sg.num_vertices;
+    all = sg.edges;
     for (const auto& te : sg.temporal) all.push_back(te.e);
-  canonicalize_edges(all);
+    canonicalize_edges(all);
+  }
   std::vector<Edge> base(all.begin(),
                          all.begin() + static_cast<std::ptrdiff_t>(
                                            all.size() / 2));
@@ -93,7 +68,7 @@ int main() {
   ThreadTeam team(env.max_workers);
 
   std::printf("== engine throughput: %s (n=%zu, base m=%zu, %zu ops) ==\n\n",
-              spec.name.c_str(), sg.num_vertices, base.size(), ops_total);
+              graph_name.c_str(), num_vertices, base.size(), ops_total);
 
   Json rows = Json::array();
   Table table({"policy", "producers", "workers", "kups", "epochs",
@@ -101,22 +76,16 @@ int main() {
 
   for (const Policy& policy : policies) {
     for (int producers : producer_counts) {
-      // Disjoint per-producer universes (slices of the edge pool) keep
-      // the end state deterministic; reuse one stream set per
-      // producer-count so policies see identical work.
-      std::vector<std::vector<GraphUpdate>> streams;
-      const std::size_t slice =
-          all.size() / static_cast<std::size_t>(producers);
-      const std::size_t per =
-          ops_total / static_cast<std::size_t>(producers);
-      for (int p = 0; p < producers; ++p) {
-        Rng rng(0xbe7c4 + static_cast<std::uint64_t>(p));
-        std::span<const Edge> universe(
-            all.data() + static_cast<std::size_t>(p) * slice, slice);
-        streams.push_back(gen_update_stream(universe, per, 0.45, 0.6, rng));
-      }
+      const std::vector<std::vector<GraphUpdate>> streams =
+          producer_update_streams(all, producers, ops_total);
       for (int workers : worker_counts) {
-        CellResult r = run_cell(sg, base, streams, team, workers, policy);
+        engine::StreamingEngine::Options opts;
+        opts.workers = workers;
+        opts.flush_threshold = policy.threshold;
+        opts.adaptive = policy.adaptive;
+        opts.flush_interval_ms = 2.0;
+        EngineCellResult r =
+            run_engine_cell(num_vertices, base, streams, team, opts);
         const double p50_ms =
             static_cast<double>(r.stats.flush_us.percentile(0.5)) / 1000.0;
         const double p99_ms =
@@ -129,23 +98,7 @@ int main() {
                        fmt(r.updates_per_sec / 1000.0, 1),
                        std::to_string(r.stats.epochs), fmt(p50_ms, 2),
                        fmt(p99_ms, 2), std::to_string(coalesced)});
-        rows.push(Json::object()
-                      .set("policy", policy.name)
-                      .set("producers", producers)
-                      .set("workers", workers)
-                      .set("ops", std::uint64_t{r.stats.submitted})
-                      .set("seconds", r.seconds)
-                      .set("updates_per_sec", r.updates_per_sec)
-                      .set("epochs", r.stats.epochs)
-                      .set("p50_flush_ms", p50_ms)
-                      .set("p99_flush_ms", p99_ms)
-                      .set("applied_inserts", r.stats.applied_inserts)
-                      .set("applied_removes", r.stats.applied_removes)
-                      .set("annihilated_pairs",
-                           std::uint64_t{r.stats.coalesce.annihilated_pairs})
-                      .set("duplicates",
-                           std::uint64_t{r.stats.coalesce.duplicates})
-                      .set("noops", std::uint64_t{r.stats.coalesce.noops}));
+        rows.push(engine_cell_json(policy.name, producers, workers, r));
       }
     }
   }
@@ -153,8 +106,8 @@ int main() {
 
   Json payload = Json::object()
                      .set("bench", "engine_throughput")
-                     .set("graph", spec.name)
-                     .set("n", std::uint64_t{sg.num_vertices})
+                     .set("graph", graph_name)
+                     .set("n", std::uint64_t{num_vertices})
                      .set("base_edges", std::uint64_t{base.size()})
                      .set("ops_total", std::uint64_t{ops_total})
                      .set("scale", env.scale)

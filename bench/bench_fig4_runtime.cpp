@@ -1,5 +1,6 @@
 // Figure 4: running time of OurI / OurR / JEI / JER by worker count,
-// per graph. The paper's headline: order-based parallel maintenance
+// per graph (the Table-2 stand-ins, or the PARCORE_BENCH_INPUT dataset
+// when set). The paper's headline: order-based parallel maintenance
 // beats the join-edge-set Traversal baseline everywhere, most
 // dramatically where core values are uniform (BA, ER, roadNet).
 #include <cstdio>
@@ -18,9 +19,9 @@ int main() {
   std::printf("(scale %.2f, batch ~%zu, reps %d)\n\n", env.scale, env.batch,
               env.reps);
 
-  for (const SuiteSpec& spec : table2_suite()) {
-    PreparedWorkload w = prepare_workload(spec, env.scale, env.batch);
-    std::printf("-- %s (n=%zu, batch=%zu) --\n", spec.name.c_str(), w.n,
+  for (const PreparedWorkload& w :
+       suite_or_file_workloads(table2_suite(), env)) {
+    std::printf("-- %s (n=%zu, batch=%zu) --\n", w.spec.name.c_str(), w.n,
                 w.batch.size());
     std::vector<std::string> headers{"algorithm"};
     for (int workers : sweep)

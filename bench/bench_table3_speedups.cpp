@@ -23,8 +23,9 @@ int main() {
                "OurR/JER @16"});
 
   double best_insert_ratio = 0.0, best_remove_ratio = 0.0;
-  for (const SuiteSpec& spec : table2_suite()) {
-    PreparedWorkload w = prepare_workload(spec, env.scale, env.batch);
+  // Sweeps the Table-2 stand-ins, or PARCORE_BENCH_INPUT when set.
+  for (const PreparedWorkload& w :
+       suite_or_file_workloads(table2_suite(), env)) {
     AlgoTimes ours1 = time_parallel_order(w, team, 1, env.reps);
     AlgoTimes oursN = time_parallel_order(w, team, hi, env.reps);
     AlgoTimes je1 = time_je(w, team, 1, env.reps);
@@ -42,7 +43,7 @@ int main() {
     best_insert_ratio = std::max(best_insert_ratio, i_vs_n);
     best_remove_ratio = std::max(best_remove_ratio, r_vs_n);
 
-    table.add_row({spec.name, fmt(our_i_self), fmt(our_r_self),
+    table.add_row({w.spec.name, fmt(our_i_self), fmt(our_r_self),
                    fmt(je_i_self), fmt(je_r_self), fmt(i_vs_1), fmt(r_vs_1),
                    fmt(i_vs_n), fmt(r_vs_n)});
     std::fflush(stdout);

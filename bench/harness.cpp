@@ -5,8 +5,10 @@
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
 #include "graph/edge_list.h"
+#include "io/graph_reader.h"
 #include "support/env.h"
 #include "support/rng.h"
 
@@ -20,6 +22,7 @@ BenchEnv bench_env() {
       env_int("PARCORE_BENCH_BATCH", env.fast ? 1000 : 5000));
   env.reps = static_cast<int>(env_int("PARCORE_BENCH_REPS", 1));
   env.max_workers = static_cast<int>(env_int("PARCORE_BENCH_MAX_WORKERS", 16));
+  env.input = env_str("PARCORE_BENCH_INPUT", "");
   return env;
 }
 
@@ -70,6 +73,53 @@ PreparedWorkload prepare_workload(const SuiteSpec& spec, double scale,
   return w;
 }
 
+PreparedWorkload prepare_workload_from_file(const std::string& path,
+                                            std::size_t batch_size) {
+  io::GraphData data = io::read_graph(path);  // filtered + compacted
+
+  PreparedWorkload w;
+  w.spec.name = path.substr(path.find_last_of('/') + 1);
+  w.spec.temporal = data.has_timestamps;
+  w.n = data.num_vertices;
+
+  std::vector<Edge> all = io::static_edges(data);
+  batch_size = std::min(batch_size, all.size() / 2);
+  if (data.has_timestamps) {
+    // Temporal protocol: the batch is the most recent time range.
+    std::stable_sort(data.edges.begin(), data.edges.end(),
+                     [](const TimestampedEdge& a, const TimestampedEdge& b) {
+                       return a.time < b.time;
+                     });
+    all.clear();
+    for (const TimestampedEdge& te : data.edges) all.push_back(te.e);
+  } else {
+    // Static protocol: uniform sample, seeded from the file name so a
+    // dataset always yields the same split.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (char c : w.spec.name) h = h * 131 + static_cast<unsigned>(c);
+    Rng rng(h);
+    rng.shuffle(all);
+  }
+  w.batch.assign(all.end() - static_cast<std::ptrdiff_t>(batch_size),
+                 all.end());
+  w.base_edges.assign(all.begin(),
+                      all.end() - static_cast<std::ptrdiff_t>(batch_size));
+  return w;
+}
+
+std::vector<PreparedWorkload> suite_or_file_workloads(
+    const std::vector<SuiteSpec>& specs, const BenchEnv& env) {
+  std::vector<PreparedWorkload> out;
+  if (!env.input.empty()) {
+    out.push_back(prepare_workload_from_file(env.input, env.batch));
+    return out;
+  }
+  out.reserve(specs.size());
+  for (const SuiteSpec& spec : specs)
+    out.push_back(prepare_workload(spec, env.scale, env.batch));
+  return out;
+}
+
 DynamicGraph base_graph(const PreparedWorkload& w) {
   return DynamicGraph::from_edges(w.n, w.base_edges);
 }
@@ -88,6 +138,51 @@ AlgoTimes time_parallel_order(const PreparedWorkload& w, ThreadTeam& team,
     rem.push_back(t.elapsed_ms());
   }
   return AlgoTimes{RunStats::from(ins), RunStats::from(rem)};
+}
+
+EngineCellResult run_engine_cell(
+    std::size_t n, const std::vector<Edge>& base,
+    const std::vector<std::vector<GraphUpdate>>& streams, ThreadTeam& team,
+    const engine::StreamingEngine::Options& opts) {
+  DynamicGraph g = DynamicGraph::from_edges(n, base);
+  engine::StreamingEngine eng(g, team, opts);
+  eng.start();
+
+  std::size_t total_ops = 0;
+  for (const auto& s : streams) total_ops += s.size();
+
+  WallTimer timer;
+  std::vector<std::thread> producers;
+  producers.reserve(streams.size());
+  for (const auto& stream : streams) {
+    producers.emplace_back([&eng, &stream] {
+      for (const GraphUpdate& u : stream) eng.submit(u);
+    });
+  }
+  for (auto& t : producers) t.join();
+  eng.stop();  // drains the tail; included in the measured time
+  const double sec = timer.elapsed_ms() / 1000.0;
+
+  EngineCellResult r;
+  r.seconds = sec;
+  r.updates_per_sec = sec > 0 ? static_cast<double>(total_ops) / sec : 0.0;
+  r.stats = eng.stats();
+  return r;
+}
+
+std::vector<std::vector<GraphUpdate>> producer_update_streams(
+    const std::vector<Edge>& pool, int producers, std::size_t ops_total) {
+  std::vector<std::vector<GraphUpdate>> streams;
+  streams.reserve(static_cast<std::size_t>(producers));
+  const std::size_t slice = pool.size() / static_cast<std::size_t>(producers);
+  const std::size_t per = ops_total / static_cast<std::size_t>(producers);
+  for (int p = 0; p < producers; ++p) {
+    Rng rng(0xbe7c4 + static_cast<std::uint64_t>(p));
+    std::span<const Edge> universe(
+        pool.data() + static_cast<std::size_t>(p) * slice, slice);
+    streams.push_back(gen_update_stream(universe, per, 0.45, 0.6, rng));
+  }
+  return streams;
 }
 
 AlgoTimes time_je(const PreparedWorkload& w, ThreadTeam& team, int workers,
@@ -220,6 +315,29 @@ std::string write_bench_json(const std::string& name, const Json& payload) {
   }
   std::printf("wrote %s\n", path.c_str());
   return path;
+}
+
+Json engine_cell_json(const std::string& policy, int producers, int workers,
+                      const EngineCellResult& r) {
+  const double p50_ms =
+      static_cast<double>(r.stats.flush_us.percentile(0.5)) / 1000.0;
+  const double p99_ms =
+      static_cast<double>(r.stats.flush_us.percentile(0.99)) / 1000.0;
+  return Json::object()
+      .set("policy", policy)
+      .set("producers", producers)
+      .set("workers", workers)
+      .set("ops", std::uint64_t{r.stats.submitted})
+      .set("seconds", r.seconds)
+      .set("updates_per_sec", r.updates_per_sec)
+      .set("epochs", r.stats.epochs)
+      .set("p50_flush_ms", p50_ms)
+      .set("p99_flush_ms", p99_ms)
+      .set("applied_inserts", r.stats.applied_inserts)
+      .set("applied_removes", r.stats.applied_removes)
+      .set("annihilated_pairs", std::uint64_t{r.stats.coalesce.annihilated_pairs})
+      .set("duplicates", std::uint64_t{r.stats.coalesce.duplicates})
+      .set("noops", std::uint64_t{r.stats.coalesce.noops});
 }
 
 Table::Table(std::vector<std::string> headers) {

@@ -2,7 +2,7 @@
 // (the paper's remove-then-reinsert protocol), algorithm timers and a
 // fixed-width table printer.
 //
-// Environment variables:
+// Environment variables (full table: docs/CONFIG.md):
 //   PARCORE_BENCH_SCALE    graph scale factor (default 0.2; paper ~1.0
 //                          would be the full stand-in sizes)
 //   PARCORE_BENCH_BATCH    base batch size (default 5000)
@@ -12,6 +12,9 @@
 //   PARCORE_BENCH_FAST     set to 1 for a quick smoke run
 //   PARCORE_BENCH_JSON_DIR directory for machine-readable BENCH_*.json
 //                          result files (default: current directory)
+//   PARCORE_BENCH_INPUT    dataset file (any src/io format); benches
+//                          that honour it measure this graph instead of
+//                          the synthetic suite
 #pragma once
 
 #include <cstdint>
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "baseline/je.h"
+#include "engine/engine.h"
 #include "gen/suite.h"
 #include "graph/dynamic_graph.h"
 #include "parallel/parallel_order.h"
@@ -35,6 +39,7 @@ struct BenchEnv {
   int reps = 1;
   int max_workers = 16;
   bool fast = false;
+  std::string input;  // PARCORE_BENCH_INPUT dataset path ("" = synthetic)
 };
 
 BenchEnv bench_env();
@@ -55,6 +60,18 @@ struct PreparedWorkload {
 PreparedWorkload prepare_workload(const SuiteSpec& spec, double scale,
                                   std::size_t batch_size);
 
+/// Same protocol over a real dataset loaded through the io/ reader
+/// (SNAP / MatrixMarket / .pcg, optionally gzipped): temporal files use
+/// the paper's contiguous-time-range batch, static ones the uniform
+/// sample. The stand-in SuiteSpec carries the file's own statistics.
+PreparedWorkload prepare_workload_from_file(const std::string& path,
+                                            std::size_t batch_size);
+
+/// What a suite-sweeping bench should measure: one workload per spec,
+/// or just the PARCORE_BENCH_INPUT dataset when the env names one.
+std::vector<PreparedWorkload> suite_or_file_workloads(
+    const std::vector<SuiteSpec>& specs, const BenchEnv& env);
+
 DynamicGraph base_graph(const PreparedWorkload& w);
 
 struct AlgoTimes {
@@ -69,6 +86,30 @@ AlgoTimes time_parallel_order(const PreparedWorkload& w, ThreadTeam& team,
 /// Times JEI/JER on the prepared workload.
 AlgoTimes time_je(const PreparedWorkload& w, ThreadTeam& team, int workers,
                   int reps);
+
+/// One streaming-engine measurement cell, shared by
+/// bench_engine_throughput and `parcore_cli bench`: builds a fresh
+/// engine over `base`, replays the per-producer streams concurrently
+/// (stop() drains the tail inside the measured window), and reports
+/// end-to-end throughput plus the engine's own stats.
+struct EngineCellResult {
+  double seconds = 0.0;
+  double updates_per_sec = 0.0;
+  engine::EngineStats stats;
+};
+
+EngineCellResult run_engine_cell(
+    std::size_t n, const std::vector<Edge>& base,
+    const std::vector<std::vector<GraphUpdate>>& streams, ThreadTeam& team,
+    const engine::StreamingEngine::Options& opts);
+
+/// The engine benches' producer workload (also shared with
+/// `parcore_cli bench`): producer p draws ops_total/producers updates
+/// from its own contiguous slice of the edge pool — disjoint universes
+/// keep the end state deterministic — with a fixed seed and
+/// hot/remove-fraction mix, so every surface measures identical work.
+std::vector<std::vector<GraphUpdate>> producer_update_streams(
+    const std::vector<Edge>& pool, int producers, std::size_t ops_total);
 
 /// Minimal JSON value/emitter for the BENCH_* trajectory files. Only
 /// what the benches need: objects (insertion-ordered), arrays, numbers,
@@ -113,6 +154,11 @@ class Json {
 /// Writes `payload` to "<PARCORE_BENCH_JSON_DIR>/BENCH_<name>.json"
 /// (pretty-printed) and prints the path. Returns the path written.
 std::string write_bench_json(const std::string& name, const Json& payload);
+
+/// The BENCH_engine.json row for one engine cell — one schema shared by
+/// bench_engine_throughput and `parcore_cli bench`.
+Json engine_cell_json(const std::string& policy, int producers, int workers,
+                      const EngineCellResult& r);
 
 /// Minimal fixed-width table printer.
 class Table {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 
+#include "support/env.h"
 #include "support/timer.h"
 
 namespace parcore::engine {
@@ -149,6 +151,27 @@ EngineStats StreamingEngine::stats() const {
   EngineStats s = stats_;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   return s;
+}
+
+StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
+  base.shards = static_cast<std::size_t>(env_int(
+      "PARCORE_ENGINE_SHARDS", static_cast<long>(base.shards)));
+  base.flush_threshold = static_cast<std::size_t>(env_int(
+      "PARCORE_ENGINE_FLUSH_THRESHOLD",
+      static_cast<long>(base.flush_threshold)));
+  base.flush_interval_ms =
+      env_double("PARCORE_ENGINE_FLUSH_INTERVAL_MS", base.flush_interval_ms);
+  base.workers = static_cast<int>(
+      env_int("PARCORE_ENGINE_WORKERS", base.workers));
+  if (std::getenv("PARCORE_ENGINE_ADAPTIVE") != nullptr)
+    base.adaptive = env_flag("PARCORE_ENGINE_ADAPTIVE");
+  base.target_flush_ms =
+      env_double("PARCORE_ENGINE_TARGET_FLUSH_MS", base.target_flush_ms);
+  base.min_threshold = static_cast<std::size_t>(env_int(
+      "PARCORE_ENGINE_MIN_THRESHOLD", static_cast<long>(base.min_threshold)));
+  base.max_threshold = static_cast<std::size_t>(env_int(
+      "PARCORE_ENGINE_MAX_THRESHOLD", static_cast<long>(base.max_threshold)));
+  return base;
 }
 
 }  // namespace parcore::engine

@@ -182,4 +182,11 @@ class StreamingEngine {
   std::atomic<std::uint64_t> submitted_{0};
 };
 
+/// `base` with every flush-policy knob overridable from the environment
+/// (PARCORE_ENGINE_* variables; full table in docs/CONFIG.md). Used by
+/// parcore_cli and the examples so deployments tune the engine without
+/// a rebuild.
+StreamingEngine::Options options_from_env(
+    StreamingEngine::Options base = StreamingEngine::Options());
+
 }  // namespace parcore::engine

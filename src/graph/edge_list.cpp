@@ -1,43 +1,28 @@
 #include "graph/edge_list.h"
 
-#include <cctype>
 #include <cstdio>
 #include <stdexcept>
-#include <unordered_map>
 #include <unordered_set>
+
+#include "io/graph_reader.h"
 
 namespace parcore {
 
 EdgeListData load_edge_list(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr)
-    throw std::runtime_error("cannot open edge list: " + path);
+  // Thin shim over the io/ reader (DESIGN.md §7): same compaction
+  // semantics as the original loader, but malformed lines now raise
+  // io::IoError with file:line context instead of being skipped into a
+  // silently-smaller (or empty) graph. Filtering stays off — historical
+  // callers canonicalize_edges() themselves.
+  io::ReadOptions opts;
+  opts.format = io::GraphFormat::kEdgeList;
+  opts.filter = false;
+  io::GraphData loaded = io::read_graph(path, opts);
 
   EdgeListData data;
-  std::unordered_map<unsigned long long, VertexId> remap;
-  auto intern = [&](unsigned long long raw) {
-    auto [it, inserted] = remap.try_emplace(
-        raw, static_cast<VertexId>(remap.size()));
-    (void)inserted;
-    return it->second;
-  };
-
-  char line[256];
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    const char* p = line;
-    while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
-    unsigned long long a = 0, b = 0, t = 0;
-    int fields = std::sscanf(p, "%llu %llu %llu", &a, &b, &t);
-    if (fields < 2) continue;
-    TimestampedEdge te;
-    te.e = Edge{intern(a), intern(b)};
-    te.time = fields >= 3 ? t : 0;
-    if (fields >= 3) data.has_timestamps = true;
-    data.edges.push_back(te);
-  }
-  std::fclose(f);
-  data.num_vertices = remap.size();
+  data.num_vertices = loaded.num_vertices;
+  data.edges = std::move(loaded.edges);
+  data.has_timestamps = loaded.has_timestamps;
   return data;
 }
 

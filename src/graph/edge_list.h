@@ -21,7 +21,10 @@ struct EdgeListData {
   bool has_timestamps = false;
 };
 
-/// Loads an edge list; throws std::runtime_error on IO failure.
+/// Loads an edge list via the io/ reader (see io/graph_reader.h for
+/// format options and statistics); throws io::IoError — a
+/// std::runtime_error carrying "file:line:" context — on IO failure or
+/// any malformed line.
 EdgeListData load_edge_list(const std::string& path);
 
 /// Writes "u v [time]" lines.

@@ -1,0 +1,67 @@
+// Real-dataset graph reader (DESIGN.md §7): turns an on-disk graph —
+// SNAP-style edge list, MatrixMarket coordinate file, or the `.pcg`
+// binary cache — into the compacted, self-loop-free edge set the rest
+// of the library consumes. Format specifics and accepted edge cases are
+// specified in docs/FORMATS.md; every malformed input is rejected with
+// an IoError carrying file:line context.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/types.h"
+
+namespace parcore::io {
+
+enum class GraphFormat {
+  kAuto,          // by extension: .mtx → MatrixMarket, .pcg → binary cache,
+                  // anything else (after stripping .gz) → edge list
+  kEdgeList,      // "u v [t]" per line, '#'/'%' comments
+  kMatrixMarket,  // "%%MatrixMarket" banner, dimension line, 1-based ids
+  kPcg,           // parcore binary cache (io/pcg.h)
+};
+
+struct ReadStats {
+  std::size_t data_lines = 0;  // non-comment, non-blank lines parsed
+  std::size_t comments = 0;    // comment + blank lines
+  std::size_t self_loops = 0;  // dropped (when filtering)
+  std::size_t duplicates = 0;  // dropped (when filtering)
+};
+
+/// A parsed dataset. With the default options, `edges` is self-loop- and
+/// duplicate-free and endpoints are compacted to [0, num_vertices) in
+/// first-appearance order; `original_ids[c]` maps a compacted id back to
+/// the raw id in the file (empty when compaction is off or for `.pcg`,
+/// which stores already-compacted ids).
+struct GraphData {
+  std::size_t num_vertices = 0;
+  std::vector<TimestampedEdge> edges;  // time == 0 when absent
+  bool has_timestamps = false;
+  std::vector<std::uint64_t> original_ids;
+  ReadStats stats;
+};
+
+struct ReadOptions {
+  GraphFormat format = GraphFormat::kAuto;
+  bool filter = true;       // drop self-loops and duplicate edges
+  bool compact_ids = true;  // remap raw ids to [0, n); off: ids used
+                            // verbatim (MatrixMarket shifted to 0-based)
+                            // and must fit VertexId
+};
+
+/// Extension-based detection used by GraphFormat::kAuto.
+GraphFormat detect_format(const std::string& path);
+
+/// Loads a graph in any supported format; throws IoError on failure.
+GraphData read_graph(const std::string& path, const ReadOptions& opts = {});
+
+/// Materialises the adjacency structure (drops duplicate/self-loop edges
+/// the reader was asked to keep).
+DynamicGraph to_dynamic_graph(const GraphData& data);
+
+/// The edge set without timestamps, in file order.
+std::vector<Edge> static_edges(const GraphData& data);
+
+}  // namespace parcore::io

@@ -1,0 +1,31 @@
+// Error type for the dataset I/O layer (DESIGN.md §7): every parse or
+// read failure carries the offending path and, when meaningful, the
+// 1-based line number, so callers can print "file:line: what" and a
+// malformed dataset never silently degrades into an empty graph.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace parcore::io {
+
+class IoError : public std::runtime_error {
+ public:
+  /// line == 0 means "no line context" (open failures, binary files).
+  IoError(std::string path, std::size_t line, const std::string& what)
+      : std::runtime_error(line > 0
+                               ? path + ":" + std::to_string(line) + ": " + what
+                               : path + ": " + what),
+        path_(std::move(path)),
+        line_(line) {}
+
+  const std::string& path() const { return path_; }
+  std::size_t line() const { return line_; }
+
+ private:
+  std::string path_;
+  std::size_t line_;
+};
+
+}  // namespace parcore::io

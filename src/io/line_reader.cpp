@@ -1,0 +1,109 @@
+#include "io/line_reader.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "io/io_error.h"
+
+#ifdef PARCORE_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace parcore::io {
+
+namespace {
+constexpr std::size_t kChunk = 1u << 16;
+}  // namespace
+
+LineReader::LineReader(const std::string& path) : path_(path) {
+#ifdef PARCORE_HAVE_ZLIB
+  // gzopen reads uncompressed files transparently, so one handle type
+  // serves both plain and .gz inputs.
+  gzFile f = gzopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError(path, 0, "cannot open for reading");
+  gzbuffer(f, kChunk);
+  handle_ = f;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError(path, 0, "cannot open for reading");
+  int c0 = std::fgetc(f);
+  int c1 = std::fgetc(f);
+  if (c0 == 0x1f && c1 == 0x8b) {
+    std::fclose(f);
+    throw IoError(path, 0,
+                  "gzip-compressed input, but parcore was built without "
+                  "zlib (reconfigure with -DPARCORE_WITH_ZLIB=ON)");
+  }
+  std::rewind(f);
+  handle_ = f;
+#endif
+}
+
+LineReader::~LineReader() {
+  if (handle_ == nullptr) return;
+#ifdef PARCORE_HAVE_ZLIB
+  gzclose(static_cast<gzFile>(handle_));
+#else
+  std::fclose(static_cast<std::FILE*>(handle_));
+#endif
+}
+
+void LineReader::refill() {
+  if (eof_) return;
+  // Compact delivered bytes before growing the buffer.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const std::size_t old = buf_.size();
+  buf_.resize(old + kChunk);
+#ifdef PARCORE_HAVE_ZLIB
+  gzFile f = static_cast<gzFile>(handle_);
+  int got = gzread(f, buf_.data() + old, static_cast<unsigned>(kChunk));
+  if (got < 0) {
+    int errnum = 0;
+    const char* msg = gzerror(f, &errnum);
+    throw IoError(path_, line_ + 1,
+                  std::string("read error: ") +
+                      (msg != nullptr && *msg != '\0' ? msg : "gzread failed"));
+  }
+  buf_.resize(old + static_cast<std::size_t>(got));
+  if (got == 0) eof_ = true;
+#else
+  std::FILE* f = static_cast<std::FILE*>(handle_);
+  std::size_t got = std::fread(buf_.data() + old, 1, kChunk, f);
+  buf_.resize(old + got);
+  if (got < kChunk) {
+    if (std::ferror(f) != 0) throw IoError(path_, line_ + 1, "read error");
+    eof_ = true;
+  }
+#endif
+}
+
+bool LineReader::next(std::string& line) {
+  while (true) {
+    const char* base = buf_.data() + pos_;
+    const std::size_t avail = buf_.size() - pos_;
+    const char* nl = static_cast<const char*>(std::memchr(base, '\n', avail));
+    if (nl != nullptr) {
+      std::size_t len = static_cast<std::size_t>(nl - base);
+      if (len > 0 && base[len - 1] == '\r') --len;  // CRLF tolerance
+      line.assign(base, len);
+      pos_ += static_cast<std::size_t>(nl - base) + 1;
+      ++line_;
+      return true;
+    }
+    if (eof_) {
+      if (avail == 0) return false;
+      std::size_t len = avail;
+      if (base[len - 1] == '\r') --len;
+      line.assign(base, len);  // final line without trailing newline
+      pos_ = buf_.size();
+      ++line_;
+      return true;
+    }
+    refill();
+  }
+}
+
+}  // namespace parcore::io

@@ -1,0 +1,46 @@
+// Buffered line source for the text readers (DESIGN.md §7): hides the
+// storage transport (plain file, or gzip when built with zlib — see
+// PARCORE_WITH_ZLIB in CMakeLists.txt) behind a next()-per-line
+// interface that strips CRLF and tracks 1-based line numbers for error
+// context. zlib's gzopen reads uncompressed files transparently, so a
+// zlib build needs no format switch; a non-zlib build detects the gzip
+// magic and fails with a rebuild hint instead of parsing garbage.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace parcore::io {
+
+class LineReader {
+ public:
+  /// Opens `path`; throws IoError when the file cannot be opened or is
+  /// gzip-compressed in a build without zlib.
+  explicit LineReader(const std::string& path);
+  ~LineReader();
+
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+
+  /// Fills `line` with the next line (without its '\n' / "\r\n");
+  /// returns false at end of input. Throws IoError on a read error.
+  /// A final line without a trailing newline is still returned.
+  bool next(std::string& line);
+
+  /// 1-based number of the line most recently returned by next().
+  std::size_t line_number() const { return line_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void refill();
+
+  std::string path_;
+  void* handle_ = nullptr;  // gzFile or std::FILE*, depending on build
+  std::string buf_;         // undelivered bytes
+  std::size_t pos_ = 0;     // read cursor into buf_
+  bool eof_ = false;
+  std::size_t line_ = 0;
+};
+
+}  // namespace parcore::io

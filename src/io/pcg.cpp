@@ -1,0 +1,138 @@
+#include "io/pcg.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "io/io_error.h"
+
+namespace parcore::io {
+
+namespace {
+
+// Header layout (40 bytes, little-endian):
+//   bytes 0-3   magic "PCG1"
+//   bytes 4-7   u32 version
+//   bytes 8-11  u32 flags (bit 0: timestamps present)
+//   bytes 12-15 u32 reserved (0)
+//   bytes 16-23 u64 num_vertices
+//   bytes 24-31 u64 num_edges
+//   bytes 32-39 u64 reserved (0)
+// Payload: num_edges x (u32 u, u32 v), then num_edges x u64 timestamps
+// when bit 0 of flags is set.
+constexpr std::uint32_t kFlagTimestamps = 1u;
+constexpr std::size_t kHeaderBytes = 40;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void save_pcg(const std::string& path, const GraphData& data) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw IoError(path, 0, "cannot open for writing");
+
+  unsigned char header[kHeaderBytes] = {};
+  std::memcpy(header, kPcgMagic, 4);
+  put_u32(header + 4, kPcgVersion);
+  put_u32(header + 8, data.has_timestamps ? kFlagTimestamps : 0);
+  put_u64(header + 16, data.num_vertices);
+  put_u64(header + 24, data.edges.size());
+  if (std::fwrite(header, 1, kHeaderBytes, f.get()) != kHeaderBytes)
+    throw IoError(path, 0, "write failed (header)");
+
+  for (const TimestampedEdge& te : data.edges) {
+    unsigned char rec[8];
+    put_u32(rec, te.e.u);
+    put_u32(rec + 4, te.e.v);
+    if (std::fwrite(rec, 1, sizeof rec, f.get()) != sizeof rec)
+      throw IoError(path, 0, "write failed (edges)");
+  }
+  if (data.has_timestamps) {
+    for (const TimestampedEdge& te : data.edges) {
+      unsigned char rec[8];
+      put_u64(rec, te.time);
+      if (std::fwrite(rec, 1, sizeof rec, f.get()) != sizeof rec)
+        throw IoError(path, 0, "write failed (timestamps)");
+    }
+  }
+  if (std::fflush(f.get()) != 0) throw IoError(path, 0, "flush failed");
+}
+
+GraphData load_pcg(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw IoError(path, 0, "cannot open for reading");
+
+  unsigned char header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, f.get()) != kHeaderBytes)
+    throw IoError(path, 0, "truncated header (not a .pcg file?)");
+  if (std::memcmp(header, kPcgMagic, 4) != 0)
+    throw IoError(path, 0, "bad magic (not a .pcg file)");
+  const std::uint32_t version = get_u32(header + 4);
+  if (version != kPcgVersion)
+    throw IoError(path, 0,
+                  "unsupported .pcg version " + std::to_string(version) +
+                      " (this build reads version " +
+                      std::to_string(kPcgVersion) + ")");
+  const std::uint32_t flags = get_u32(header + 8);
+  if ((flags & ~kFlagTimestamps) != 0)
+    throw IoError(path, 0, "unknown flag bits set");
+
+  GraphData data;
+  data.num_vertices = get_u64(header + 16);
+  data.has_timestamps = (flags & kFlagTimestamps) != 0;
+  const std::uint64_t num_edges = get_u64(header + 24);
+  if (data.num_vertices > kInvalidVertex)
+    throw IoError(path, 0, "num_vertices overflows the VertexId space");
+
+  data.edges.resize(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    unsigned char rec[8];
+    if (std::fread(rec, 1, sizeof rec, f.get()) != sizeof rec)
+      throw IoError(path, 0,
+                    "truncated edge section (edge " + std::to_string(i) +
+                        " of " + std::to_string(num_edges) + ")");
+    TimestampedEdge& te = data.edges[i];
+    te.e = Edge{get_u32(rec), get_u32(rec + 4)};
+    if (te.e.u >= data.num_vertices || te.e.v >= data.num_vertices)
+      throw IoError(path, 0,
+                    "edge " + std::to_string(i) +
+                        " references a vertex out of range");
+  }
+  if (data.has_timestamps) {
+    for (std::uint64_t i = 0; i < num_edges; ++i) {
+      unsigned char rec[8];
+      if (std::fread(rec, 1, sizeof rec, f.get()) != sizeof rec)
+        throw IoError(path, 0, "truncated timestamp section");
+      data.edges[i].time = get_u64(rec);
+    }
+  }
+  unsigned char extra;
+  if (std::fread(&extra, 1, 1, f.get()) == 1)
+    throw IoError(path, 0, "trailing bytes after declared payload");
+  data.stats.data_lines = data.edges.size();
+  return data;
+}
+
+}  // namespace parcore::io

@@ -1,0 +1,28 @@
+// The `.pcg` binary graph cache (DESIGN.md §7, format spec in
+// docs/FORMATS.md): a parsed-once image of a text dataset so large
+// graphs skip tokenising on every run. Fixed little-endian layout —
+// magic "PCG1", a versioned header, u32 endpoint pairs, then u64
+// timestamps when present. Loading validates magic, version, declared
+// counts against the actual byte length, and endpoint bounds, throwing
+// IoError rather than trusting a truncated or corrupt cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/graph_reader.h"
+
+namespace parcore::io {
+
+inline constexpr char kPcgMagic[4] = {'P', 'C', 'G', '1'};
+inline constexpr std::uint32_t kPcgVersion = 1;
+
+/// Writes `data` as a `.pcg` cache; throws IoError on write failure.
+/// Only the edge image is cached: original_ids and read stats are not
+/// stored (ids in a cache are already compacted).
+void save_pcg(const std::string& path, const GraphData& data);
+
+/// Loads a `.pcg` cache; throws IoError on malformed input.
+GraphData load_pcg(const std::string& path);
+
+}  // namespace parcore::io

@@ -1,0 +1,117 @@
+#include "io/temporal_stream.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "io/io_error.h"
+#include "io/line_reader.h"
+#include "io/tokens.h"
+
+namespace parcore::io {
+
+TemporalStream read_temporal_stream(const std::string& path,
+                                    const TemporalReadOptions& opts) {
+  LineReader in(path);
+  TemporalStream stream;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  std::uint64_t max_raw = 0;
+  bool any = false;
+
+  auto intern = [&](std::uint64_t raw) -> VertexId {
+    any = true;
+    if (opts.compact_ids) {
+      auto [it, inserted] =
+          remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+      if (inserted) {
+        if (remap.size() > kInvalidVertex)
+          throw IoError(path, in.line_number(),
+                        "more distinct vertices than VertexId can address");
+        stream.original_ids.push_back(raw);
+      }
+      return it->second;
+    }
+    if (raw >= kInvalidVertex)
+      throw IoError(path, in.line_number(),
+                    "vertex id " + std::to_string(raw) +
+                        " overflows the 32-bit VertexId space");
+    if (raw > max_raw) max_raw = raw;
+    return static_cast<VertexId>(raw);
+  };
+
+  std::string line, err;
+  std::uint64_t prev_time = 0;
+  bool have_prev = false;
+  while (in.next(line)) {
+    const char* p = skip_ws(line.c_str());
+    if (*p == '#' || *p == '%' || *p == '\0') continue;
+
+    UpdateKind kind = UpdateKind::kInsert;
+    if (*p == '+' || *p == '-') {
+      kind = *p == '-' ? UpdateKind::kRemove : UpdateKind::kInsert;
+      ++p;
+      if (*p != ' ' && *p != '\t')
+        throw IoError(path, in.line_number(),
+                      "op sign must be a separate token ('+ u v' / '- u v')");
+    }
+    std::uint64_t a = 0, b = 0, t = 0;
+    if (!parse_u64(p, a, err) || !parse_u64(p, b, err))
+      throw IoError(path, in.line_number(), err);
+    if (!at_line_end(p)) {
+      // As in graph_reader: "u v t", or KONECT's "u v weight t" where
+      // the weight column is skipped unparsed.
+      const char* probe = p;
+      skip_token(probe);
+      if (!at_line_end(probe)) skip_token(p);
+      if (!parse_u64(p, t, err)) throw IoError(path, in.line_number(), err);
+    }
+    if (have_prev && t < prev_time) {
+      stream.monotone = false;
+      if (opts.require_monotone)
+        throw IoError(path, in.line_number(),
+                      "timestamp " + std::to_string(t) +
+                          " decreases below " + std::to_string(prev_time));
+    }
+    prev_time = t;
+    have_prev = true;
+
+    TimedUpdate op;
+    op.u.e = Edge{intern(a), intern(b)};
+    op.u.kind = kind;
+    op.time = t;
+    stream.ops.push_back(op);
+  }
+  stream.num_vertices = opts.compact_ids
+                            ? remap.size()
+                            : (any ? static_cast<std::size_t>(max_raw) + 1 : 0);
+  return stream;
+}
+
+void save_temporal_stream(const std::string& path,
+                          std::span<const TimedUpdate> ops) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw IoError(path, 0, "cannot open for writing");
+  for (const TimedUpdate& op : ops) {
+    std::fprintf(f, "%c %u %u %llu\n",
+                 op.u.kind == UpdateKind::kRemove ? '-' : '+', op.u.e.u,
+                 op.u.e.v, static_cast<unsigned long long>(op.time));
+  }
+  if (std::fclose(f) != 0) throw IoError(path, 0, "write failed");
+}
+
+std::vector<Edge> replay_final_edges(std::span<const TimedUpdate> ops) {
+  std::unordered_map<std::uint64_t, Edge> live;
+  for (const TimedUpdate& op : ops) {
+    if (op.u.e.u == op.u.e.v) continue;  // self-loops never materialise
+    if (op.u.kind == UpdateKind::kInsert)
+      live.emplace(edge_key(op.u.e), canonical(op.u.e));
+    else
+      live.erase(edge_key(op.u.e));
+  }
+  std::vector<Edge> edges;
+  edges.reserve(live.size());
+  for (const auto& [key, e] : live) edges.push_back(e);
+  return edges;
+}
+
+}  // namespace parcore::io

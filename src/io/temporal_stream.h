@@ -1,0 +1,48 @@
+// Temporal update-stream reader (DESIGN.md §7, format spec in
+// docs/FORMATS.md): parses "[+|-] u v [t]" lines into the timestamped
+// insert/remove ops that drive the StreamingEngine and the sliding-
+// window maintain workloads. A bare "u v [t]" line is an insert, so any
+// SNAP/KONECT temporal edge list is already a valid insert-only stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/types.h"
+
+namespace parcore::io {
+
+struct TimedUpdate {
+  GraphUpdate u;
+  std::uint64_t time = 0;
+};
+
+struct TemporalReadOptions {
+  bool compact_ids = true;      // as in ReadOptions (graph_reader.h)
+  bool require_monotone = false;  // throw when timestamps decrease
+};
+
+struct TemporalStream {
+  std::size_t num_vertices = 0;
+  std::vector<TimedUpdate> ops;  // file order
+  bool monotone = true;          // timestamps never decreased
+  std::vector<std::uint64_t> original_ids;  // as in GraphData
+};
+
+/// Loads a temporal stream; throws IoError on malformed input (and on
+/// non-monotone timestamps when require_monotone is set).
+TemporalStream read_temporal_stream(const std::string& path,
+                                    const TemporalReadOptions& opts = {});
+
+/// Writes ops back out in the "[+|-] u v t" text form.
+void save_temporal_stream(const std::string& path,
+                          std::span<const TimedUpdate> ops);
+
+/// The edge set live after replaying `ops` in order (insert adds,
+/// remove erases, redundant ops are no-ops) — the reference final graph
+/// the engine's result is checked against.
+std::vector<Edge> replay_final_edges(std::span<const TimedUpdate> ops);
+
+}  // namespace parcore::io

@@ -1,0 +1,66 @@
+// Shared token scanning for the text readers (DESIGN.md §7). Strict by
+// design: ids must be plain non-negative decimal integers — a '-' sign,
+// letters, or a value past 2^64-1 are parse errors, never silent wraps
+// (strtoull would happily accept "-3" as a huge unsigned).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parcore::io {
+
+inline const char* skip_ws(const char* p) {
+  while (*p == ' ' || *p == '\t') ++p;
+  return p;
+}
+
+inline bool at_line_end(const char* p) {
+  return *skip_ws(p) == '\0';
+}
+
+/// Advances p past one whitespace-delimited token of any form (used to
+/// skip KONECT weight columns); returns false when the line is out of
+/// tokens.
+inline bool skip_token(const char*& p) {
+  p = skip_ws(p);
+  if (*p == '\0') return false;
+  while (*p != '\0' && *p != ' ' && *p != '\t') ++p;
+  return true;
+}
+
+/// Parses one decimal u64 token at *p, advancing p past it. Returns
+/// false (with a human-readable reason in `err`) on a missing token,
+/// non-digit characters, or overflow.
+inline bool parse_u64(const char*& p, std::uint64_t& out, std::string& err) {
+  p = skip_ws(p);
+  if (*p == '\0') {
+    err = "missing field";
+    return false;
+  }
+  if (*p == '-') {
+    err = "negative vertex id or timestamp";
+    return false;
+  }
+  if (*p < '0' || *p > '9') {
+    err = std::string("non-numeric token starting at '") + *p + "'";
+    return false;
+  }
+  std::uint64_t v = 0;
+  while (*p >= '0' && *p <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      err = "integer overflows 64 bits";
+      return false;
+    }
+    v = v * 10 + digit;
+    ++p;
+  }
+  if (*p != '\0' && *p != ' ' && *p != '\t') {
+    err = std::string("non-numeric token (unexpected '") + *p + "')";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace parcore::io

@@ -12,6 +12,9 @@
 //   JeMaintainer            join-edge-set parallel baseline (JEI / JER)
 //   engine::StreamingEngine concurrent ingest + batch coalescing +
 //                           epoch-snapshot queries (the service core)
+//   io::read_graph / io::read_temporal_stream / io::save_pcg
+//                           real-dataset loading (SNAP / MatrixMarket /
+//                           .pcg cache / temporal streams)
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 #pragma once
@@ -26,9 +29,13 @@
 #include "engine/engine.h"
 #include "engine/ingest.h"
 #include "gen/generators.h"
+#include "gen/stream_adapter.h"
 #include "gen/suite.h"
 #include "graph/dynamic_graph.h"
 #include "graph/edge_list.h"
+#include "io/graph_reader.h"
+#include "io/pcg.h"
+#include "io/temporal_stream.h"
 #include "maint/seq_order.h"
 #include "maint/traversal.h"
 #include "parallel/parallel_order.h"

@@ -1,0 +1,708 @@
+#include "cli.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "decomp/bz.h"
+#include "decomp/core_query.h"
+#include "decomp/park.h"
+#include "engine/engine.h"
+#include "gen/generators.h"
+#include "gen/stream_adapter.h"
+#include "graph/edge_list.h"
+#include "harness.h"
+#include "io/graph_reader.h"
+#include "io/io_error.h"
+#include "io/pcg.h"
+#include "io/temporal_stream.h"
+#include "maint/seq_order.h"
+#include "maint/traversal.h"
+#include "support/timer.h"
+
+#ifdef PARCORE_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace parcore::cli {
+
+namespace {
+
+using bench::Table;
+using bench::fmt;
+
+/// A bad option value (vs. a runtime failure): caught by the dispatcher
+/// and reported with the command's usage text, exit code 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+constexpr const char* kGlobalUsage = R"(parcore_cli - core maintenance over real datasets
+
+usage: parcore_cli <command> [options]
+
+commands:
+  decompose   static core decomposition of a dataset (BZ or ParK)
+  maintain    sliding-window batch maintenance (parallel/seq/traversal/je)
+  serve       drive the streaming engine from a temporal update file
+  bench       engine-throughput benchmark on a dataset (emits BENCH_*.json)
+  convert     transcode a dataset (e.g. edge list -> .pcg binary cache)
+  help        print this text (or '<command> --help' for one command)
+
+Input formats (spec: docs/FORMATS.md): SNAP-style edge lists,
+MatrixMarket .mtx, and the .pcg binary cache; .gz variants of the text
+formats when built with zlib (-DPARCORE_WITH_ZLIB=ON).
+
+Environment knobs (full table: docs/CONFIG.md): PARCORE_ENGINE_* for
+the streaming engine's flush policy, PARCORE_BENCH_* for benchmark
+scale and output.
+)";
+
+// ------------------------------------------------------------ arg parsing
+
+/// Minimal "--name value" / "--flag" parser over a declared option set.
+class Args {
+ public:
+  /// `flags` take no value; everything else in `known` does.
+  Args(const std::vector<std::string>& args, std::size_t start,
+       std::set<std::string> known, std::set<std::string> flags)
+      : known_(std::move(known)), flags_(std::move(flags)) {
+    for (std::size_t i = start; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a == "--help" || a == "-h") {
+        help_ = true;
+        continue;
+      }
+      if (a.rfind("--", 0) != 0) {
+        error_ = "unexpected positional argument '" + a + "'";
+        return;
+      }
+      const std::string name = a.substr(2);
+      if (flags_.count(name) != 0) {
+        values_[name] = "1";
+        continue;
+      }
+      if (known_.count(name) == 0) {
+        error_ = "unknown option --" + name;
+        return;
+      }
+      if (i + 1 >= args.size()) {
+        error_ = "option --" + name + " needs a value";
+        return;
+      }
+      values_[name] = args[++i];
+    }
+  }
+
+  bool help() const { return help_; }
+  const std::string& error() const { return error_; }
+
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::string get(const std::string& name, const std::string& def = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  /// Strict: the whole value must be a decimal integer, or the command
+  /// fails with a usage error rather than running on a silent default.
+  long get_int(const std::string& name, long def) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    const std::string& s = it->second;
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+      throw UsageError("option --" + name + " expects an integer, got '" + s +
+                       "'");
+    return v;
+  }
+
+  /// get_int restricted to values >= 1 (thread counts, sizes).
+  long get_positive(const std::string& name, long def) const {
+    const long v = get_int(name, def);
+    if (v < 1)
+      throw UsageError("option --" + name + " must be positive, got " +
+                       std::to_string(v));
+    return v;
+  }
+
+ private:
+  std::set<std::string> known_;
+  std::set<std::string> flags_;
+  std::map<std::string, std::string> values_;
+  std::string error_;
+  bool help_ = false;
+};
+
+int usage_error(const char* usage, const std::string& message) {
+  std::fprintf(stderr, "parcore_cli: %s\n\n%s", message.c_str(), usage);
+  return 2;
+}
+
+// ------------------------------------------------------------ shared bits
+
+void print_load_summary(const std::string& path, const io::GraphData& data,
+                        double ms) {
+  std::printf("loaded %s: n=%zu m=%zu (%.1f ms", path.c_str(),
+              data.num_vertices, data.edges.size(), ms);
+  if (data.stats.self_loops > 0 || data.stats.duplicates > 0)
+    std::printf("; dropped %zu self-loops, %zu duplicates",
+                data.stats.self_loops, data.stats.duplicates);
+  std::printf(")\n");
+}
+
+bool cores_match(const std::vector<CoreValue>& got,
+                 const std::vector<CoreValue>& want) {
+  if (got.size() != want.size()) return false;
+  return std::equal(got.begin(), got.end(), want.begin());
+}
+
+/// Edge sequence in arrival order: temporal files by timestamp, static
+/// ones in file order.
+std::vector<Edge> arrival_order_edges(io::GraphData& data) {
+  if (data.has_timestamps)
+    std::stable_sort(data.edges.begin(), data.edges.end(),
+                     [](const TimestampedEdge& a, const TimestampedEdge& b) {
+                       return a.time < b.time;
+                     });
+  return io::static_edges(data);
+}
+
+// -------------------------------------------------------------- decompose
+
+constexpr const char* kDecomposeUsage =
+    R"(usage: parcore_cli decompose --input FILE [options]
+
+Static core decomposition with a load/decompose time breakdown.
+
+  --input FILE   dataset (edge list / .mtx / .pcg; docs/FORMATS.md)
+  --algo NAME    bz (sequential, default) or park (parallel)
+  --workers N    ParK worker threads (default 8)
+  --top K        print the K highest-coreness vertices (original ids)
+  --histogram    print the core-value distribution
+)";
+
+int cmd_decompose(const Args& args) {
+  const std::string input = args.get("input");
+  if (input.empty()) return usage_error(kDecomposeUsage, "--input is required");
+  const std::string algo = args.get("algo", "bz");
+  if (algo != "bz" && algo != "park")
+    return usage_error(kDecomposeUsage, "unknown --algo '" + algo + "'");
+
+  WallTimer load_timer;
+  io::GraphData data = io::read_graph(input);
+  const double load_ms = load_timer.elapsed_ms();
+  print_load_summary(input, data, load_ms);
+
+  DynamicGraph g = io::to_dynamic_graph(data);
+  WallTimer decomp_timer;
+  std::vector<CoreValue> cores;
+  if (algo == "park") {
+    const int workers = static_cast<int>(args.get_positive("workers", 8));
+    ThreadTeam team(workers);
+    cores = park_decompose(g, team, workers);
+  } else {
+    cores = bz_decompose(g).core;
+  }
+  const double decomp_ms = decomp_timer.elapsed_ms();
+
+  CoreSummary summary = summarize_cores(cores);
+  std::printf("%s decomposition: %.1f ms\n", algo.c_str(), decomp_ms);
+  std::printf("max core = %d, degeneracy core size = %zu, avg degree = %.2f\n",
+              summary.max_core, summary.degeneracy_core_size,
+              g.average_degree());
+
+  if (args.has("histogram")) {
+    Table t({"core", "vertices"});
+    for (std::size_t k = 0; k < summary.histogram.size(); ++k)
+      if (summary.histogram[k] > 0)
+        t.add_row({std::to_string(k), std::to_string(summary.histogram[k])});
+    t.print();
+  }
+
+  const long top = args.get_int("top", 0);
+  if (top > 0) {
+    std::vector<VertexId> order(cores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](VertexId a, VertexId b) { return cores[a] > cores[b]; });
+    Table t({"vertex", "core"});
+    for (long i = 0; i < top && i < static_cast<long>(order.size()); ++i) {
+      const VertexId v = order[static_cast<std::size_t>(i)];
+      const std::uint64_t shown =
+          v < data.original_ids.size() ? data.original_ids[v] : v;
+      t.add_row({std::to_string(shown), std::to_string(cores[v])});
+    }
+    t.print();
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- convert
+
+constexpr const char* kConvertUsage =
+    R"(usage: parcore_cli convert --input FILE --output FILE
+
+Transcodes a dataset. Output ending in .pcg writes the binary cache
+(parse once, load fast); .gz writes a gzipped edge list (zlib builds
+only); any other output writes a plain edge list. Self-loops and
+duplicate edges are dropped and ids compacted to [0, n).
+)";
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+void write_gz_edge_list(const std::string& path, const io::GraphData& data) {
+#ifdef PARCORE_HAVE_ZLIB
+  gzFile f = gzopen(path.c_str(), "wb");
+  if (f == nullptr) throw io::IoError(path, 0, "cannot open for writing");
+  for (const TimestampedEdge& te : data.edges) {
+    const int n =
+        data.has_timestamps
+            ? gzprintf(f, "%u %u %llu\n", te.e.u, te.e.v,
+                       static_cast<unsigned long long>(te.time))
+            : gzprintf(f, "%u %u\n", te.e.u, te.e.v);
+    if (n <= 0) {
+      gzclose(f);
+      throw io::IoError(path, 0, "write failed");
+    }
+  }
+  if (gzclose(f) != Z_OK) throw io::IoError(path, 0, "write failed");
+#else
+  throw io::IoError(path, 0,
+                    "gzip output requires a zlib build "
+                    "(-DPARCORE_WITH_ZLIB=ON)");
+#endif
+}
+
+int cmd_convert(const Args& args) {
+  const std::string input = args.get("input");
+  const std::string output = args.get("output");
+  if (input.empty() || output.empty())
+    return usage_error(kConvertUsage, "--input and --output are required");
+  if (ends_with(output, ".pcg.gz"))
+    return usage_error(kConvertUsage,
+                       ".pcg caches cannot be gzipped (the binary loader "
+                       "reads plain files only)");
+
+  WallTimer load_timer;
+  io::GraphData data = io::read_graph(input);
+  print_load_summary(input, data, load_timer.elapsed_ms());
+
+  WallTimer write_timer;
+  if (io::detect_format(output) == io::GraphFormat::kPcg) {
+    io::save_pcg(output, data);
+  } else if (ends_with(output, ".gz")) {
+    write_gz_edge_list(output, data);
+  } else {
+    EdgeListData out;
+    out.num_vertices = data.num_vertices;
+    out.edges = data.edges;
+    out.has_timestamps = data.has_timestamps;
+    save_edge_list(output, out);
+  }
+  std::printf("wrote %s: %zu edges (%.1f ms)\n", output.c_str(),
+              data.edges.size(), write_timer.elapsed_ms());
+  return 0;
+}
+
+// ---------------------------------------------------------------- maintain
+
+constexpr const char* kMaintainUsage =
+    R"(usage: parcore_cli maintain --input FILE [options]
+
+Sliding-window batch maintenance: replay the dataset in arrival order
+(temporal files by timestamp), inserting a batch per step and removing
+the batch that slides out of the window once it is full.
+
+  --input FILE   dataset (edge list / .mtx / .pcg)
+  --algo NAME    parallel (default), seq, traversal, or je
+  --window N     live-edge window (default: half the dataset)
+  --batch B      edges per step (default 1000)
+  --workers W    parallel/je workers per batch (default 8)
+  --steps S      stop after S steps (default: until exhausted)
+  --verify       recompute cores from scratch at the end and compare
+)";
+
+int cmd_maintain(const Args& args) {
+  const std::string input = args.get("input");
+  if (input.empty()) return usage_error(kMaintainUsage, "--input is required");
+  const std::string algo = args.get("algo", "parallel");
+  if (algo != "parallel" && algo != "seq" && algo != "traversal" &&
+      algo != "je")
+    return usage_error(kMaintainUsage, "unknown --algo '" + algo + "'");
+
+  WallTimer load_timer;
+  io::GraphData data = io::read_graph(input);
+  print_load_summary(input, data, load_timer.elapsed_ms());
+  const std::vector<Edge> stream = arrival_order_edges(data);
+  if (stream.empty()) {
+    std::fprintf(stderr, "parcore_cli: %s has no edges\n", input.c_str());
+    return 1;
+  }
+
+  const std::size_t window = static_cast<std::size_t>(args.get_positive(
+      "window", static_cast<long>(std::max<std::size_t>(1, stream.size() / 2))));
+  const std::size_t batch =
+      static_cast<std::size_t>(args.get_positive("batch", 1000));
+  const int workers = static_cast<int>(args.get_positive("workers", 8));
+  const long max_steps = args.has("steps") ? args.get_positive("steps", 1) : -1;
+
+  // The window starts as the first min(window, m) edges.
+  const std::size_t base_len = std::min(window, stream.size());
+  std::deque<Edge> live(stream.begin(),
+                        stream.begin() + static_cast<std::ptrdiff_t>(base_len));
+  DynamicGraph g = DynamicGraph::from_edges(
+      data.num_vertices, std::vector<Edge>(live.begin(), live.end()));
+
+  // Only the selected maintainer is constructed: each constructor runs a
+  // full decomposition, and the non-JE ones take over `g`.
+  ThreadTeam team(std::max(workers, 1));
+  std::unique_ptr<ParallelOrderMaintainer> par;
+  std::unique_ptr<SeqOrderMaintainer> seq;
+  std::unique_ptr<TraversalMaintainer> trav;
+  std::unique_ptr<JeMaintainer> je;
+  if (algo == "parallel") par = std::make_unique<ParallelOrderMaintainer>(g, team);
+  else if (algo == "seq") seq = std::make_unique<SeqOrderMaintainer>(g);
+  else if (algo == "traversal") trav = std::make_unique<TraversalMaintainer>(g);
+  else je = std::make_unique<JeMaintainer>(g, team);
+
+  auto insert = [&](std::span<const Edge> edges) {
+    if (par) par->insert_batch(edges, workers);
+    else if (seq) seq->insert_batch(edges);
+    else if (trav) trav->insert_batch(edges);
+    else je->insert_batch(edges, workers);
+  };
+  auto remove = [&](std::span<const Edge> edges) {
+    if (par) par->remove_batch(edges, workers);
+    else if (seq) seq->remove_batch(edges);
+    else if (trav) trav->remove_batch(edges);
+    else je->remove_batch(edges, workers);
+  };
+  auto cores = [&]() -> std::vector<CoreValue> {
+    std::vector<CoreValue> out(data.num_vertices);
+    for (VertexId v = 0; v < out.size(); ++v)
+      out[v] = par    ? par->core(v)
+               : seq  ? seq->core(v)
+               : trav ? trav->core(v)
+                      : je->core(v);
+    return out;
+  };
+
+  std::vector<double> insert_ms, remove_ms;
+  std::size_t pos = base_len, steps = 0;
+  while (pos < stream.size() &&
+         (max_steps < 0 || steps < static_cast<std::size_t>(max_steps))) {
+    const std::size_t len = std::min(batch, stream.size() - pos);
+    std::span<const Edge> in(stream.data() + pos, len);
+
+    WallTimer t;
+    insert(in);
+    insert_ms.push_back(t.elapsed_ms());
+    for (const Edge& e : in) live.push_back(e);
+    pos += len;
+
+    if (live.size() > window) {
+      std::vector<Edge> out;
+      while (live.size() > window) {
+        out.push_back(live.front());
+        live.pop_front();
+      }
+      t.reset();
+      remove(out);
+      remove_ms.push_back(t.elapsed_ms());
+    }
+    ++steps;
+  }
+
+  const RunStats ins = RunStats::from(insert_ms);
+  const RunStats rem = RunStats::from(remove_ms);
+  std::printf(
+      "%s: %zu steps (batch %zu, window %zu, %d workers)\n"
+      "  insert per batch: mean %.2f ms (max %.2f), %zu batches\n"
+      "  remove per batch: mean %.2f ms (max %.2f), %zu batches\n",
+      algo.c_str(), steps, batch, window, workers, ins.mean, ins.max,
+      ins.count, rem.mean, rem.max, rem.count);
+
+  if (args.has("verify")) {
+    DynamicGraph fresh = DynamicGraph::from_edges(
+        data.num_vertices, std::vector<Edge>(live.begin(), live.end()));
+    const Decomposition expect = bz_decompose(fresh);
+    if (!cores_match(cores(), expect.core)) {
+      std::fprintf(stderr, "FAILED: maintained cores diverge from a fresh "
+                           "decomposition\n");
+      return 1;
+    }
+    std::printf("verified: maintained cores match a fresh decomposition\n");
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ serve
+
+constexpr const char* kServeUsage =
+    R"(usage: parcore_cli serve --input FILE [options]
+
+Drives the streaming engine from a temporal update file ("[+|-] u v [t]"
+lines; a plain edge list is an insert-only stream). Ops are partitioned
+across producer threads by edge, so the final graph is deterministic and
+is checked against a fresh bz_decompose unless --no-verify.
+
+  --input FILE    temporal update stream (docs/FORMATS.md)
+  --producers N   concurrent producer threads (default 4)
+  --workers W     maintainer workers per flush (default: engine default)
+  --repeat R      replay the stream R times (default 1; load amplifier)
+  --no-verify     skip the final bz_decompose comparison
+
+Engine flush policy comes from PARCORE_ENGINE_* (docs/CONFIG.md).
+)";
+
+int cmd_serve(const Args& args) {
+  const std::string input = args.get("input");
+  if (input.empty()) return usage_error(kServeUsage, "--input is required");
+  const int producers = static_cast<int>(args.get_positive("producers", 4));
+  const long repeat = args.get_positive("repeat", 1);
+
+  WallTimer load_timer;
+  io::TemporalStream stream = io::read_temporal_stream(input);
+  std::printf("loaded %s: n=%zu, %zu ops (%.1f ms)\n", input.c_str(),
+              stream.num_vertices, stream.ops.size(),
+              load_timer.elapsed_ms());
+  if (stream.ops.empty()) {
+    std::fprintf(stderr, "parcore_cli: %s has no update ops\n", input.c_str());
+    return 1;
+  }
+
+  std::vector<GraphUpdate> ops;
+  ops.reserve(stream.ops.size() * static_cast<std::size_t>(repeat));
+  for (long r = 0; r < repeat; ++r)
+    for (const io::TimedUpdate& op : stream.ops) ops.push_back(op.u);
+
+  engine::StreamingEngine::Options opts = engine::options_from_env();
+  if (args.has("workers"))
+    opts.workers = static_cast<int>(args.get_positive("workers", opts.workers));
+
+  DynamicGraph g(stream.num_vertices);
+  ThreadTeam team(std::max(opts.workers, producers));
+  engine::StreamingEngine eng(g, team, opts);
+  eng.start();
+
+  const std::vector<std::vector<GraphUpdate>> streams =
+      partition_updates_by_edge(ops, static_cast<std::size_t>(producers));
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(streams.size());
+  for (const auto& s : streams)
+    threads.emplace_back([&eng, &s] {
+      for (const GraphUpdate& u : s) eng.submit(u);
+    });
+  for (auto& t : threads) t.join();
+  eng.stop();
+  const double sec = timer.elapsed_ms() / 1000.0;
+
+  const engine::EngineStats stats = eng.stats();
+  auto snap = eng.snapshot();
+  std::printf(
+      "served %zu ops with %d producers in %.2f s (%.1f kups)\n"
+      "  epochs %llu, applied +%llu/-%llu, coalesced: %llu pairs, "
+      "%llu dups, %llu noops, %llu rejected\n"
+      "  flush p50 %.2f ms, p99 %.2f ms; final epoch %llu, max core %d\n",
+      ops.size(), producers, sec,
+      sec > 0 ? static_cast<double>(ops.size()) / sec / 1000.0 : 0.0,
+      static_cast<unsigned long long>(stats.epochs),
+      static_cast<unsigned long long>(stats.applied_inserts),
+      static_cast<unsigned long long>(stats.applied_removes),
+      static_cast<unsigned long long>(stats.coalesce.annihilated_pairs),
+      static_cast<unsigned long long>(stats.coalesce.duplicates),
+      static_cast<unsigned long long>(stats.coalesce.noops),
+      static_cast<unsigned long long>(stats.coalesce.rejected),
+      static_cast<double>(stats.flush_us.percentile(0.5)) / 1000.0,
+      static_cast<double>(stats.flush_us.percentile(0.99)) / 1000.0,
+      static_cast<unsigned long long>(snap->epoch), snap->max_core);
+
+  if (!args.has("no-verify")) {
+    // Per-edge op order is preserved inside one producer stream, so the
+    // final edge set is schedule-independent: compare against a fresh
+    // decomposition of the sequential replay.
+    std::vector<io::TimedUpdate> replay;
+    replay.reserve(ops.size());
+    for (const GraphUpdate& u : ops)
+      replay.push_back(io::TimedUpdate{u, 0});
+    DynamicGraph fresh = DynamicGraph::from_edges(
+        stream.num_vertices, io::replay_final_edges(replay));
+    const Decomposition expect = bz_decompose(fresh);
+    if (fresh.num_edges() != g.num_edges() ||
+        !cores_match(snap->cores, expect.core)) {
+      std::fprintf(stderr, "FAILED: served cores diverge from bz_decompose "
+                           "of the replayed final graph\n");
+      return 1;
+    }
+    std::printf("verified: served cores match bz_decompose of the final "
+                "graph (%zu edges)\n",
+                fresh.num_edges());
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ bench
+
+constexpr const char* kBenchUsage =
+    R"(usage: parcore_cli bench --input FILE [options]
+
+Engine-throughput benchmark over a file-loaded graph, emitting the same
+BENCH_*.json schema as bench_engine_throughput (rows of policy x
+producers x workers cells).
+
+  --input FILE   dataset (edge list / .mtx / .pcg)
+  --name NAME    output BENCH_<NAME>.json (default "engine_file")
+  --ops N        total updates to stream (default 200000; FAST 20000)
+
+Honours PARCORE_BENCH_FAST / _MAX_WORKERS / _JSON_DIR (docs/CONFIG.md).
+)";
+
+int cmd_bench(const Args& args) {
+  const std::string input = args.get("input");
+  if (input.empty()) return usage_error(kBenchUsage, "--input is required");
+  const bench::BenchEnv env = bench::bench_env();
+  const std::string name = args.get("name", "engine_file");
+  const std::size_t ops_total = static_cast<std::size_t>(
+      args.get_positive("ops", env.fast ? 20000 : 200000));
+
+  WallTimer load_timer;
+  io::GraphData data = io::read_graph(input);
+  print_load_summary(input, data, load_timer.elapsed_ms());
+  std::vector<Edge> all = io::static_edges(data);
+  if (all.size() < 4) {
+    std::fprintf(stderr, "parcore_cli: %s is too small to bench\n",
+                 input.c_str());
+    return 1;
+  }
+  const std::vector<Edge> base(
+      all.begin(), all.begin() + static_cast<std::ptrdiff_t>(all.size() / 2));
+
+  struct Policy {
+    const char* name;
+    std::size_t threshold;
+    bool adaptive;
+  };
+  const std::vector<Policy> policies{{"fixed-2k", 2048, false},
+                                     {"adaptive", 4096, true}};
+  const std::vector<int> producer_counts{1, 4};
+  const std::vector<int> worker_counts =
+      bench::worker_sweep(std::min(env.max_workers, 8));
+
+  ThreadTeam team(env.max_workers);
+  bench::Json rows = bench::Json::array();
+  Table table({"policy", "producers", "workers", "kups", "epochs",
+               "p50 flush ms", "p99 flush ms"});
+
+  for (const Policy& policy : policies) {
+    for (int producers : producer_counts) {
+      const std::vector<std::vector<GraphUpdate>> streams =
+          bench::producer_update_streams(all, producers, ops_total);
+      for (int workers : worker_counts) {
+        engine::StreamingEngine::Options opts;
+        opts.workers = workers;
+        opts.flush_threshold = policy.threshold;
+        opts.adaptive = policy.adaptive;
+        opts.flush_interval_ms = 2.0;
+        const bench::EngineCellResult r = bench::run_engine_cell(
+            data.num_vertices, base, streams, team, opts);
+        table.add_row(
+            {policy.name, std::to_string(producers), std::to_string(workers),
+             fmt(r.updates_per_sec / 1000.0, 1),
+             std::to_string(r.stats.epochs),
+             fmt(static_cast<double>(r.stats.flush_us.percentile(0.5)) / 1000.0,
+                 2),
+             fmt(static_cast<double>(r.stats.flush_us.percentile(0.99)) /
+                     1000.0,
+                 2)});
+        rows.push(bench::engine_cell_json(policy.name, producers, workers, r));
+      }
+    }
+  }
+  table.print();
+
+  bench::Json payload = bench::Json::object()
+                            .set("bench", "engine_throughput")
+                            .set("graph", input)
+                            .set("n", std::uint64_t{data.num_vertices})
+                            .set("base_edges", std::uint64_t{base.size()})
+                            .set("ops_total", std::uint64_t{ops_total})
+                            .set("scale", 1.0)
+                            .set("rows", rows);
+  if (bench::write_bench_json(name, payload).empty()) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int cli_main(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return cli_main(args);
+}
+
+int cli_main(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+      args[0] == "-h") {
+    std::fputs(kGlobalUsage, args.empty() ? stderr : stdout);
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& cmd = args[0];
+
+  struct Command {
+    const char* name;
+    const char* usage;
+    std::set<std::string> options;
+    std::set<std::string> flags;
+    int (*run)(const Args&);
+  };
+  static const std::vector<Command> commands{
+      {"decompose", kDecomposeUsage,
+       {"input", "algo", "workers", "top"}, {"histogram"}, cmd_decompose},
+      {"convert", kConvertUsage, {"input", "output"}, {}, cmd_convert},
+      {"maintain", kMaintainUsage,
+       {"input", "algo", "window", "batch", "workers", "steps"}, {"verify"},
+       cmd_maintain},
+      {"serve", kServeUsage,
+       {"input", "producers", "workers", "repeat"}, {"no-verify"}, cmd_serve},
+      {"bench", kBenchUsage, {"input", "name", "ops"}, {}, cmd_bench},
+  };
+
+  for (const Command& c : commands) {
+    if (cmd != c.name) continue;
+    Args parsed(args, 1, c.options, c.flags);
+    if (parsed.help()) {
+      std::fputs(c.usage, stdout);
+      return 0;
+    }
+    if (!parsed.error().empty()) return usage_error(c.usage, parsed.error());
+    try {
+      return c.run(parsed);
+    } catch (const UsageError& e) {
+      return usage_error(c.usage, e.what());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "parcore_cli: %s\n", e.what());
+      return 1;
+    }
+  }
+  return usage_error(kGlobalUsage, "unknown command '" + cmd + "'");
+}
+
+}  // namespace parcore::cli

@@ -1,0 +1,4 @@
+// Thin entry point for parcore_cli; all commands live in tools/cli.cpp.
+#include "cli.h"
+
+int main(int argc, char** argv) { return parcore::cli::cli_main(argc, argv); }
