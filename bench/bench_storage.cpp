@@ -1,0 +1,251 @@
+// BENCH_storage: old-vs-new adjacency layout (ISSUE 3 acceptance).
+//
+// "old" is the seed's vector<vector<VertexId>> layout, reproduced here
+// verbatim as LegacyGraph so the comparison survives the refactor that
+// removed it from the library; "new" is the slab-backed DynamicGraph.
+// For each workload we measure, on both layouts:
+//   build_ms        bulk from_edges construction
+//   insert_kups     single-edge inserts of the prepared batch
+//   remove_kups     single-edge removes of the same batch
+//   resident_bytes  structure-accounted bytes after the churn (vector
+//                   capacities / arena reservation; excludes malloc
+//                   metadata, i.e. biased toward the old layout)
+//   heap_delta_bytes allocator-accounted in-use growth (mallinfo2,
+//                   includes per-allocation overhead — the real cost of
+//                   one heap block per vertex; 0 on non-glibc)
+//
+// Workloads: three generator-suite families (rmat / er / grid stand-ins
+// from the scalability suite), plus PARCORE_BENCH_INPUT when set.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "gen/suite.h"
+#include "graph/edge_list.h"
+#include "harness.h"
+#include "support/timer.h"
+
+namespace parcore::bench {
+namespace {
+
+/// The pre-refactor layout, kept for the measurement baseline only.
+class LegacyGraph {
+ public:
+  explicit LegacyGraph(std::size_t n) : adj_(n) {}
+
+  LegacyGraph(LegacyGraph&& other) noexcept
+      : adj_(std::move(other.adj_)), num_edges_(other.num_edges()) {
+    other.num_edges_.store(0, std::memory_order_relaxed);
+  }
+
+  static LegacyGraph from_edges(std::size_t n, const std::vector<Edge>& edges) {
+    LegacyGraph g(n);
+    for (const Edge& e : edges) {
+      if (e.u == e.v || e.u >= n || e.v >= n) continue;
+      g.adj_[e.u].push_back(e.v);
+      g.adj_[e.v].push_back(e.u);
+    }
+    std::size_t degree_sum = 0;
+    for (auto& list : g.adj_) {
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      degree_sum += list.size();
+    }
+    g.num_edges_.store(degree_sum / 2, std::memory_order_relaxed);
+    return g;
+  }
+
+  bool has_edge(VertexId u, VertexId v) const {
+    const auto& list = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+    const VertexId needle = adj_[u].size() <= adj_[v].size() ? v : u;
+    return std::find(list.begin(), list.end(), needle) != list.end();
+  }
+
+  bool insert_edge(VertexId u, VertexId v) {
+    if (u == v || has_edge(u, v)) return false;
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    num_edges_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool remove_edge(VertexId u, VertexId v) {
+    if (!erase_from(adj_[u], v)) return false;
+    erase_from(adj_[v], u);
+    num_edges_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t num_edges() const {
+    return num_edges_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t resident_bytes() const {
+    std::size_t bytes = adj_.capacity() * sizeof(std::vector<VertexId>);
+    for (const auto& list : adj_)
+      bytes += list.capacity() * sizeof(VertexId);
+    return bytes;
+  }
+
+ private:
+  static bool erase_from(std::vector<VertexId>& list, VertexId x) {
+    auto it = std::find(list.begin(), list.end(), x);
+    if (it == list.end()) return false;
+    *it = list.back();
+    list.pop_back();
+    return true;
+  }
+
+  std::vector<std::vector<VertexId>> adj_;
+  // The seed's counter was atomic (shared across maintainer workers);
+  // the replica keeps it so per-op costs stay comparable.
+  std::atomic<std::size_t> num_edges_{0};
+};
+
+std::size_t current_heap_bytes() {
+#if defined(__GLIBC__)
+  const struct mallinfo2 mi = mallinfo2();
+  return static_cast<std::size_t>(mi.uordblks) +
+         static_cast<std::size_t>(mi.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+struct Measurement {
+  double build_ms = 0.0;
+  double insert_kups = 0.0;
+  double remove_kups = 0.0;
+  std::size_t resident_bytes = 0;
+  std::size_t heap_delta_bytes = 0;
+};
+
+template <typename Build, typename Churn, typename Resident>
+Measurement measure(const PreparedWorkload& w, int reps, Build&& build,
+                    Churn&& churn, Resident&& resident) {
+  Measurement m;
+  const std::size_t heap_before = current_heap_bytes();
+  WallTimer t;
+  auto g = build();
+  m.build_ms = t.elapsed_ms();
+
+  // One untimed warm-up round so both layouts measure steady state
+  // (capacity in place, pages faulted in), not first-touch costs.
+  churn(g);
+
+  // Insert the batch, then remove it, `reps` times: the graph returns to
+  // base each round, so every repetition measures identical work.
+  double ins_ms = 0.0, rem_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto [i_ms, r_ms] = churn(g);
+    ins_ms += i_ms;
+    rem_ms += r_ms;
+  }
+  const double ops = static_cast<double>(w.batch.size()) * reps;
+  m.insert_kups = ins_ms > 0 ? ops / ins_ms : 0.0;  // ops/ms == kops/s
+  m.remove_kups = rem_ms > 0 ? ops / rem_ms : 0.0;
+  m.resident_bytes = resident(g);
+  const std::size_t heap_after = current_heap_bytes();
+  m.heap_delta_bytes = heap_after > heap_before ? heap_after - heap_before : 0;
+  return m;
+}
+
+Json row_json(const std::string& workload, const char* layout,
+              const Measurement& m) {
+  return Json::object()
+      .set("workload", workload)
+      .set("layout", layout)
+      .set("build_ms", m.build_ms)
+      .set("insert_kups", m.insert_kups)
+      .set("remove_kups", m.remove_kups)
+      .set("resident_bytes", std::uint64_t{m.resident_bytes})
+      .set("heap_delta_bytes", std::uint64_t{m.heap_delta_bytes});
+}
+
+}  // namespace
+}  // namespace parcore::bench
+
+int main() {
+  using namespace parcore;
+  using namespace parcore::bench;
+
+  const BenchEnv env = bench_env();
+  // Three structural families (power-law, uniform, road) so the layout
+  // comparison covers skewed, flat, and low-degree regimes.
+  std::vector<SuiteSpec> specs = scalability_suite();
+  if (specs.size() > 3) specs.resize(3);
+  std::vector<PreparedWorkload> workloads = suite_or_file_workloads(specs, env);
+  if (!env.input.empty())
+    std::printf("measuring PARCORE_BENCH_INPUT dataset %s\n",
+                env.input.c_str());
+
+  const int reps = std::max(1, env.reps);
+  Table table({"workload", "layout", "build ms", "ins kups", "rem kups",
+               "resident MB", "heap MB", "inline %"});
+  Json rows = Json::array();
+
+  for (const PreparedWorkload& w : workloads) {
+    const Measurement legacy = measure(
+        w, reps,
+        [&] { return LegacyGraph::from_edges(w.n, w.base_edges); },
+        [&](LegacyGraph& g) {
+          WallTimer t;
+          for (const Edge& e : w.batch) g.insert_edge(e.u, e.v);
+          const double i = t.elapsed_ms();
+          t.reset();
+          for (const Edge& e : w.batch) g.remove_edge(e.u, e.v);
+          return std::pair<double, double>(i, t.elapsed_ms());
+        },
+        [](const LegacyGraph& g) { return g.resident_bytes(); });
+
+    double inline_pct = 0.0;
+    const Measurement slab = measure(
+        w, reps,
+        [&] { return DynamicGraph::from_edges(w.n, w.base_edges); },
+        [&](DynamicGraph& g) {
+          WallTimer t;
+          for (const Edge& e : w.batch) g.insert_edge(e.u, e.v);
+          const double i = t.elapsed_ms();
+          t.reset();
+          for (const Edge& e : w.batch) g.remove_edge(e.u, e.v);
+          return std::pair<double, double>(i, t.elapsed_ms());
+        },
+        [&](const DynamicGraph& g) {
+          const GraphMemoryStats m = g.memory_stats();
+          inline_pct = 100.0 * m.inline_fraction();
+          return m.total_bytes();
+        });
+
+    table.add_row({w.spec.name, "old", fmt(legacy.build_ms, 1),
+                   fmt(legacy.insert_kups, 1), fmt(legacy.remove_kups, 1),
+                   fmt(static_cast<double>(legacy.resident_bytes) / 1e6, 2),
+                   fmt(static_cast<double>(legacy.heap_delta_bytes) / 1e6, 2),
+                   "-"});
+    table.add_row({w.spec.name, "new", fmt(slab.build_ms, 1),
+                   fmt(slab.insert_kups, 1), fmt(slab.remove_kups, 1),
+                   fmt(static_cast<double>(slab.resident_bytes) / 1e6, 2),
+                   fmt(static_cast<double>(slab.heap_delta_bytes) / 1e6, 2),
+                   fmt(inline_pct, 1)});
+    rows.push(row_json(w.spec.name, "old", legacy));
+    rows.push(row_json(w.spec.name, "new", slab)
+                  .set("inline_fraction", inline_pct / 100.0));
+  }
+  table.print();
+
+  Json payload = Json::object()
+                     .set("bench", "storage")
+                     .set("scale", env.scale)
+                     .set("reps", reps)
+                     .set("batch", std::uint64_t{env.batch})
+                     .set("input", env.input.empty() ? Json("synthetic")
+                                                     : Json(env.input))
+                     .set("rows", rows);
+  if (write_bench_json("storage", payload).empty()) return 1;
+  return 0;
+}

@@ -25,6 +25,7 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
       queue_(opts.shards),
       threshold_(std::max<std::size_t>(1, opts.flush_threshold)) {
   publish_snapshot();  // epoch 0: the initial decomposition
+  stats_.memory = graph_.memory_stats();
 }
 
 StreamingEngine::~StreamingEngine() { stop(); }
@@ -46,6 +47,15 @@ void StreamingEngine::stop() {
   // the scheduler observed the stop request, and serves engines that
   // were never start()ed.
   if (queue_.approx_size() > 0) flush_now();
+  // Quiescent now (scheduler joined, producers done): refresh the
+  // memory sample so post-run stats reflect the final graph even when
+  // the run was shorter than om_compact_interval.
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    const GraphMemoryStats mem = graph_.memory_stats();
+    std::lock_guard<std::mutex> lk2(stats_mu_);
+    stats_.memory = mem;
+  }
 }
 
 void StreamingEngine::submit(const GraphUpdate& u) {
@@ -96,7 +106,24 @@ std::uint64_t StreamingEngine::flush_locked() {
   if (!batch.inserts.empty())
     ins = maintainer_.insert_batch(batch.inserts, opts_.workers);
 
+  // Quiescent point: the batch is fully applied and no worker holds OM
+  // pointers, so quarantined order-list groups can be reclaimed.
+  std::size_t om_reclaimed = 0;
+  bool om_compacted = false;
+  if (opts_.om_compact_interval > 0 &&
+      ++flushes_since_compact_ >= opts_.om_compact_interval) {
+    flushes_since_compact_ = 0;
+    om_reclaimed = maintainer_.state().levels().compact_all();
+    om_compacted = true;
+  }
+
   publish_snapshot();
+
+  // The memory sample is an O(n) vertex scan: take it only on the
+  // compaction cadence, and before stats_mu_ so readers never block on
+  // the scan.
+  GraphMemoryStats mem_sample;
+  if (om_compacted) mem_sample = graph_.memory_stats();
 
   const double flush_ms = timer.elapsed_ms();
   {
@@ -105,6 +132,11 @@ std::uint64_t StreamingEngine::flush_locked() {
     stats_.applied_inserts += ins.applied;
     stats_.applied_removes += rem.applied;
     stats_.skipped += ins.skipped + rem.skipped;
+    if (om_compacted) {
+      ++stats_.om_compactions;
+      stats_.om_groups_reclaimed += om_reclaimed;
+      stats_.memory = mem_sample;
+    }
     stats_.coalesce += batch.stats;
     stats_.flush_us.record(static_cast<std::size_t>(flush_ms * 1000.0));
     stats_.batch_sizes.record(raw.size());
@@ -118,6 +150,10 @@ void StreamingEngine::publish_snapshot() {
   snap->cores = maintainer_.cores();
   snap->max_core = maintainer_.state().max_core();
   snap->num_edges = graph_.num_edges();
+  // Called at quiescence only (constructor / under flush_mu_ after the
+  // batch), so the copy — a compact arena fill — sees a stable graph.
+  if (opts_.snapshot_graph)
+    snap->graph = std::make_shared<const DynamicGraph>(graph_);
   snap_mu_.lock();
   snap->epoch = snap_ ? snap_->epoch + 1 : 0;
   snap_ = std::move(snap);
@@ -171,6 +207,11 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
       "PARCORE_ENGINE_MIN_THRESHOLD", static_cast<long>(base.min_threshold)));
   base.max_threshold = static_cast<std::size_t>(env_int(
       "PARCORE_ENGINE_MAX_THRESHOLD", static_cast<long>(base.max_threshold)));
+  base.om_compact_interval = static_cast<std::size_t>(
+      env_int("PARCORE_ENGINE_OM_COMPACT_INTERVAL",
+              static_cast<long>(base.om_compact_interval)));
+  if (std::getenv("PARCORE_ENGINE_SNAPSHOT_GRAPH") != nullptr)
+    base.snapshot_graph = env_flag("PARCORE_ENGINE_SNAPSHOT_GRAPH");
   return base;
 }
 

@@ -46,6 +46,11 @@ struct EngineSnapshot {
   std::vector<CoreValue> cores;
   CoreValue max_core = 0;
   std::size_t num_edges = 0;
+  /// Deep copy of the graph at this epoch; null unless
+  /// Options::snapshot_graph is set. The copy compacts into a fresh
+  /// arena (a linear slab fill, not n per-vertex allocations), taken at
+  /// flush quiescence, so readers get a fully consistent structure.
+  std::shared_ptr<const DynamicGraph> graph;
 
   CoreValue core(VertexId v) const {
     return v < cores.size() ? cores[v] : 0;
@@ -66,6 +71,12 @@ struct EngineStats {
   std::uint64_t applied_removes = 0;
   std::uint64_t skipped = 0;  // maintainer-reported (should stay 0: the
                               // coalescer pre-filters no-ops)
+  std::uint64_t om_compactions = 0;        // quiescent compact_all() runs
+  std::uint64_t om_groups_reclaimed = 0;   // OM groups freed by them
+  /// Adjacency-storage footprint. The sample is an O(n) scan, so it is
+  /// refreshed only at OM compactions and at stop() — not every flush;
+  /// between those points it may lag the live graph.
+  GraphMemoryStats memory;
   CoalesceStats coalesce;
   // Exact-bucket sizes bound the per-engine footprint (~0.5 MB) and the
   // stats() copy cost: flushes beyond 65.5 ms land in the overflow
@@ -87,6 +98,13 @@ class StreamingEngine {
     double target_flush_ms = 20.0;
     std::size_t min_threshold = 256;
     std::size_t max_threshold = 1u << 20;
+    /// Every N flushes, reclaim quarantined OM groups at quiescence
+    /// (OrderList::compact over all levels). 0 disables compaction —
+    /// quarantined groups then leak for the engine's lifetime.
+    std::size_t om_compact_interval = 64;
+    /// Publish a deep graph copy with every epoch snapshot (compact
+    /// arena copy; costs one arena fill per flush).
+    bool snapshot_graph = false;
     ParallelOrderMaintainer::Options maintainer{};
   };
 
@@ -168,6 +186,7 @@ class StreamingEngine {
   // one batch at a time by contract.
   std::mutex flush_mu_;
   std::atomic<std::size_t> threshold_;
+  std::size_t flushes_since_compact_ = 0;  // guarded by flush_mu_
 
   // Snapshot publication: writers swap the pointer under snap_mu_,
   // readers copy the shared_ptr under the same spinlock (held for the

@@ -220,20 +220,30 @@ GraphFormat detect_format(const std::string& path) {
 GraphData read_graph(const std::string& path, const ReadOptions& opts) {
   GraphFormat format =
       opts.format == GraphFormat::kAuto ? detect_format(path) : opts.format;
+  GraphData data;
   switch (format) {
     case GraphFormat::kEdgeList:
-      return read_edge_list(path, opts);
-    case GraphFormat::kMatrixMarket:
-      return read_matrix_market(path, opts);
-    case GraphFormat::kPcg:
-      return load_pcg(path);
-    case GraphFormat::kAuto:
+      data = read_edge_list(path, opts);
       break;
+    case GraphFormat::kMatrixMarket:
+      data = read_matrix_market(path, opts);
+      break;
+    case GraphFormat::kPcg:
+      data = load_pcg(path);
+      break;
+    case GraphFormat::kAuto:
+      throw IoError(path, 0, "unreachable format");
   }
-  throw IoError(path, 0, "unreachable format");
+  data.stats.memory_footprint_bytes =
+      data.edges.capacity() * sizeof(TimestampedEdge) +
+      data.original_ids.capacity() * sizeof(std::uint64_t);
+  return data;
 }
 
 DynamicGraph to_dynamic_graph(const GraphData& data) {
+  // from_edges preallocates every vertex to its exact degree in one
+  // counting pass, so .pcg loads (and every other format) build the
+  // adjacency with zero slab relocations.
   std::vector<Edge> edges = static_edges(data);
   return DynamicGraph::from_edges(data.num_vertices, edges);
 }

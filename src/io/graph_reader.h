@@ -28,6 +28,10 @@ struct ReadStats {
   std::size_t comments = 0;    // comment + blank lines
   std::size_t self_loops = 0;  // dropped (when filtering)
   std::size_t duplicates = 0;  // dropped (when filtering)
+  /// Heap bytes held by the parsed GraphData (edge array + id map);
+  /// filled by read_graph. The materialised adjacency footprint is
+  /// separate: DynamicGraph::memory_stats() on the built graph.
+  std::size_t memory_footprint_bytes = 0;
 };
 
 /// A parsed dataset. With the default options, `edges` is self-loop- and

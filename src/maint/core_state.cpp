@@ -37,6 +37,14 @@ void LevelDirectory::clear() {
   storage_.clear();
 }
 
+std::size_t LevelDirectory::compact_all() {
+  std::size_t reclaimed = 0;
+  for (auto& slot : slots_)
+    if (OrderList* list = slot.load(std::memory_order_acquire))
+      reclaimed += list->compact();
+  return reclaimed;
+}
+
 void CoreState::initialize(const DynamicGraph& g, const Options& opts) {
   n_ = g.num_vertices();
   core_ = std::make_unique<std::atomic<CoreValue>[]>(n_);

@@ -45,6 +45,12 @@ class LevelDirectory {
   /// Destroys all lists (items become dangling; reinitialise after).
   void clear();
 
+  /// OrderList::compact() over every live list: reclaims quarantined OM
+  /// groups and absorbs empty ones. Quiescent only (no batch running,
+  /// no lock-free readers in flight); the streaming engine calls this
+  /// between flushes. Returns the total number of groups freed.
+  std::size_t compact_all();
+
  private:
   std::uint32_t group_capacity_ = 64;
   std::vector<std::atomic<OrderList*>> slots_;

@@ -335,20 +335,24 @@ bool OrderList::quiescent_version(std::uint64_t& ver) const {
   return sta == fin;
 }
 
-void OrderList::compact() {
+std::size_t OrderList::compact() {
   // Quiescent-only: absorb empty groups and reclaim the quarantine.
+  std::size_t reclaimed = 0;
   OmGroup* g = first_group_;
   while (g != nullptr) {
     OmGroup* nxt = g->next;
     if (nxt != nullptr && nxt->count == 0) {
       g->next = nxt->next;
       delete nxt;
+      ++reclaimed;
       continue;
     }
     g = nxt;
   }
+  reclaimed += quarantine_.size();
   for (OmGroup* q : quarantine_) delete q;
   quarantine_.clear();
+  return reclaimed;
 }
 
 bool OrderList::validate(std::string* error) const {

@@ -132,8 +132,9 @@ class OrderList {
   // -- maintenance / testing --------------------------------------------
 
   /// Reclaims quarantined groups and absorbs empty ones. NOT thread-safe;
-  /// call only at quiescence.
-  void compact();
+  /// call only at quiescence (the engine runs it between flushes).
+  /// Returns the number of groups freed.
+  std::size_t compact();
 
   /// Structural validation for tests; fills `error` on failure.
   bool validate(std::string* error = nullptr) const;

@@ -451,6 +451,10 @@ bool ParallelOrderMaintainer::remove_edge(VertexId u, VertexId v) {
 
 std::size_t ParallelOrderMaintainer::detach_vertex(VertexId v, int workers) {
   if (v >= graph_.num_vertices()) return 0;
+  // Materialise the adjacency before mutating: remove_batch swap-erases
+  // v's list, which invalidates the span (same rule as the old vector
+  // layout; slab relocation adds no new hazard because removals never
+  // relocate).
   const auto nbrs = graph_.neighbors(v);
   std::vector<Edge> edges;
   edges.reserve(nbrs.size());

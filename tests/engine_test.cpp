@@ -191,6 +191,73 @@ TEST(Engine, SnapshotKCoreMembership) {
   EXPECT_FALSE(snap->in_kcore(9, 1));  // isolated vertex
 }
 
+TEST(Engine, OmCompactionReclaimsGroupsAtQuiescentPoints) {
+  test::Workload w = test::make_workload(test::Family::kRmat, 300, 0.4, 23);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(2);
+  StreamingEngine::Options opts;
+  opts.om_compact_interval = 1;  // compact at every flush
+  // Tiny OM groups force constant splits/rebalances, so quarantined
+  // groups actually accumulate between flushes.
+  opts.maintainer.state.om_group_capacity = 2;
+  StreamingEngine eng(g, team, opts);
+
+  for (const Edge& e : w.batch) eng.submit_insert(e.u, e.v);
+  eng.flush_now();
+  for (const Edge& e : w.batch) eng.submit_remove(e.u, e.v);
+  eng.flush_now();
+  for (const Edge& e : w.batch) eng.submit_insert(e.u, e.v);
+  eng.flush_now();
+
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.om_compactions, 3u);
+  EXPECT_GT(stats.om_groups_reclaimed, 0u);
+  EXPECT_GT(stats.memory.total_bytes(), 0u);
+  test::expect_cores_match(g, eng.snapshot()->cores, "after compactions");
+}
+
+TEST(Engine, OmCompactionIntervalZeroDisables) {
+  auto g = DynamicGraph::from_edges(8, {});
+  ThreadTeam team(2);
+  StreamingEngine::Options opts;
+  opts.om_compact_interval = 0;
+  StreamingEngine eng(g, team, opts);
+  eng.submit_insert(0, 1);
+  eng.flush_now();
+  EXPECT_EQ(eng.stats().om_compactions, 0u);
+}
+
+TEST(Engine, SnapshotGraphCopiesCompactArena) {
+  test::Workload w = test::make_workload(test::Family::kEr, 200, 0.3, 31);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(2);
+  StreamingEngine::Options opts;
+  opts.snapshot_graph = true;
+  StreamingEngine eng(g, team, opts);
+
+  auto epoch0 = eng.snapshot();
+  ASSERT_NE(epoch0->graph, nullptr);
+  EXPECT_EQ(epoch0->graph->num_edges(), g.num_edges());
+
+  for (const Edge& e : w.batch) eng.submit_insert(e.u, e.v);
+  eng.flush_now();
+  auto epoch1 = eng.snapshot();
+  ASSERT_NE(epoch1->graph, nullptr);
+  // The epoch-0 copy is immutable: it still shows the pre-flush state.
+  EXPECT_EQ(epoch0->graph->num_edges(), w.base.size());
+  EXPECT_EQ(epoch1->graph->num_edges(), g.num_edges());
+  // The copy is compact: no free-list residue, no growth slack beyond
+  // size-class rounding.
+  EXPECT_EQ(epoch1->graph->memory_stats().freelist_bytes, 0u);
+}
+
+TEST(Engine, SnapshotGraphOffByDefault) {
+  auto g = DynamicGraph::from_edges(4, {});
+  ThreadTeam team(1);
+  StreamingEngine eng(g, team);
+  EXPECT_EQ(eng.snapshot()->graph, nullptr);
+}
+
 TEST(Engine, StopFlushesTail) {
   auto g = DynamicGraph::from_edges(8, {});
   ThreadTeam team(2);

@@ -61,6 +61,8 @@ TEST(GraphReader, SnapFixtureFiltersAndCompacts) {
   EXPECT_FALSE(data.has_timestamps);
   EXPECT_EQ(data.stats.self_loops, 1u);
   EXPECT_EQ(data.stats.duplicates, 2u);
+  EXPECT_GE(data.stats.memory_footprint_bytes,
+            data.edges.size() * sizeof(TimestampedEdge));
   // Compaction is first-appearance order; raw ids are preserved.
   ASSERT_EQ(data.original_ids.size(), 12u);
   EXPECT_EQ(data.original_ids[0], 100u);
@@ -398,6 +400,11 @@ TEST(Cli, MaintainFixtureVerifies) {
   EXPECT_EQ(cli::cli_main({"maintain", "--input", fixture("toy.txt"),
                            "--window", "10", "--batch", "4", "--verify"}),
             0);
+}
+
+TEST(Cli, StatsPrintsMemoryFootprint) {
+  EXPECT_EQ(cli::cli_main({"stats", "--input", fixture("toy.txt")}), 0);
+  EXPECT_EQ(cli::cli_main({"stats"}), 2);  // missing --input
 }
 
 TEST(Cli, DecomposeAndConvertRoundTrip) {

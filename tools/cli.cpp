@@ -56,6 +56,7 @@ commands:
   maintain    sliding-window batch maintenance (parallel/seq/traversal/je)
   serve       drive the streaming engine from a temporal update file
   bench       engine-throughput benchmark on a dataset (emits BENCH_*.json)
+  stats       degree distribution + adjacency memory footprint of a dataset
   convert     transcode a dataset (e.g. edge list -> .pcg binary cache)
   help        print this text (or '<command> --help' for one command)
 
@@ -155,8 +156,9 @@ int usage_error(const char* usage, const std::string& message) {
 
 void print_load_summary(const std::string& path, const io::GraphData& data,
                         double ms) {
-  std::printf("loaded %s: n=%zu m=%zu (%.1f ms", path.c_str(),
-              data.num_vertices, data.edges.size(), ms);
+  std::printf("loaded %s: n=%zu m=%zu (%.1f ms, %.1f MB parsed", path.c_str(),
+              data.num_vertices, data.edges.size(), ms,
+              static_cast<double>(data.stats.memory_footprint_bytes) / 1e6);
   if (data.stats.self_loops > 0 || data.stats.duplicates > 0)
     std::printf("; dropped %zu self-loops, %zu duplicates",
                 data.stats.self_loops, data.stats.duplicates);
@@ -452,6 +454,85 @@ int cmd_maintain(const Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------------------ stats
+
+constexpr const char* kStatsUsage =
+    R"(usage: parcore_cli stats --input FILE
+
+Loads a dataset, materialises the slab-backed adjacency structure, and
+prints the degree distribution (power-of-two buckets) plus the memory
+footprint breakdown from DynamicGraph::memory_stats() — arena bytes,
+slab slack, and the fraction of vertices stored inline.
+
+  --input FILE   dataset (edge list / .mtx / .pcg; docs/FORMATS.md)
+)";
+
+int cmd_stats(const Args& args) {
+  const std::string input = args.get("input");
+  if (input.empty()) return usage_error(kStatsUsage, "--input is required");
+
+  WallTimer load_timer;
+  io::GraphData data = io::read_graph(input);
+  print_load_summary(input, data, load_timer.elapsed_ms());
+
+  WallTimer build_timer;
+  DynamicGraph g = io::to_dynamic_graph(data);
+  const double build_ms = build_timer.elapsed_ms();
+
+  std::printf("built adjacency in %.1f ms: n=%zu m=%zu, max degree %zu, "
+              "avg degree %.2f\n",
+              build_ms, g.num_vertices(), g.num_edges(), g.max_degree(),
+              g.average_degree());
+
+  // Degree distribution in power-of-two buckets (0, 1, 2, 3-4, 5-8, ...).
+  std::vector<std::size_t> buckets;
+  auto bucket_of = [](std::size_t d) -> std::size_t {
+    if (d <= 2) return d;  // 0, 1, 2 get exact buckets
+    std::size_t b = 3, hi = 4;
+    while (d > hi) {
+      hi *= 2;
+      ++b;
+    }
+    return b;
+  };
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t b = bucket_of(g.degree(v));
+    if (b >= buckets.size()) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+  Table dist({"degree", "vertices"});
+  std::size_t lo = 3, hi = 4;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    std::string label;
+    if (b <= 2) {
+      label = std::to_string(b);
+    } else {
+      label = std::to_string(lo) + "-" + std::to_string(hi);
+      lo = hi + 1;
+      hi *= 2;
+    }
+    if (buckets[b] > 0) dist.add_row({label, std::to_string(buckets[b])});
+  }
+  dist.print();
+
+  const GraphMemoryStats mem = g.memory_stats();
+  Table t({"memory", "bytes", "detail"});
+  t.add_row({"vertex headers", std::to_string(mem.header_bytes),
+             "32 B x " + std::to_string(mem.num_vertices)});
+  t.add_row({"arena reserved", std::to_string(mem.arena_reserved_bytes),
+             std::to_string(mem.chunk_count) + " chunks"});
+  t.add_row({"slabs in use", std::to_string(mem.slab_used_bytes),
+             "capacity " + std::to_string(mem.slab_capacity_bytes)});
+  t.add_row({"free lists", std::to_string(mem.freelist_bytes), ""});
+  t.add_row({"total", std::to_string(mem.total_bytes()),
+             fmt(static_cast<double>(mem.total_bytes()) / 1e6, 1) + " MB"});
+  t.print();
+  std::printf("inline vertices: %zu (%.1f%%), arena slack %.1f%%\n",
+              mem.inline_vertices, 100.0 * mem.inline_fraction(),
+              100.0 * mem.slack_fraction());
+  return 0;
+}
+
 // ------------------------------------------------------------------ serve
 
 constexpr const char* kServeUsage =
@@ -534,6 +615,14 @@ int cmd_serve(const Args& args) {
       static_cast<double>(stats.flush_us.percentile(0.5)) / 1000.0,
       static_cast<double>(stats.flush_us.percentile(0.99)) / 1000.0,
       static_cast<unsigned long long>(snap->epoch), snap->max_core);
+  std::printf(
+      "  adjacency arena %.1f MB (slack %.1f%%, %.0f%% inline); "
+      "om compactions %llu reclaimed %llu groups\n",
+      static_cast<double>(stats.memory.total_bytes()) / 1e6,
+      100.0 * stats.memory.slack_fraction(),
+      100.0 * stats.memory.inline_fraction(),
+      static_cast<unsigned long long>(stats.om_compactions),
+      static_cast<unsigned long long>(stats.om_groups_reclaimed));
 
   if (!args.has("no-verify")) {
     // Per-edge op order is preserved inside one producer stream, so the
@@ -683,6 +772,7 @@ int cli_main(const std::vector<std::string>& args) {
       {"serve", kServeUsage,
        {"input", "producers", "workers", "repeat"}, {"no-verify"}, cmd_serve},
       {"bench", kBenchUsage, {"input", "name", "ops"}, {}, cmd_bench},
+      {"stats", kStatsUsage, {"input"}, {}, cmd_stats},
   };
 
   for (const Command& c : commands) {
