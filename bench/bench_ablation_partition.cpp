@@ -2,6 +2,8 @@
 // P static contiguous parts; our default hands edges out dynamically
 // from a shared counter. This bench quantifies the difference (dynamic
 // wins when per-edge costs are skewed, e.g. a few edges with large V+).
+// The conflict-aware planner gets its own dedicated bench with tailored
+// workloads (bench_scheduler); here it rides along for context.
 #include <cstdio>
 
 #include "harness.h"
@@ -12,10 +14,10 @@ using namespace parcore::bench;
 namespace {
 
 AlgoTimes time_with_partition(const PreparedWorkload& w, ThreadTeam& team,
-                              int workers, int reps, bool static_part) {
+                              int workers, int reps, ScheduleMode mode) {
   DynamicGraph g = base_graph(w);
   ParallelOrderMaintainer::Options opts;
-  opts.static_partition = static_part;
+  opts.schedule = mode;
   ParallelOrderMaintainer m(g, team, opts);
   std::vector<double> ins, rem;
   for (int r = 0; r < reps; ++r) {
@@ -40,14 +42,19 @@ int main() {
   std::printf("(scale %.2f, batch ~%zu, %d workers, ms)\n\n", env.scale,
               env.batch, workers);
 
-  Table table({"graph", "insert static", "insert dynamic", "remove static",
-               "remove dynamic"});
+  Table table({"graph", "insert static", "insert dynamic", "insert plan",
+               "remove static", "remove dynamic", "remove plan"});
   for (const SuiteSpec& spec : scalability_suite()) {
     PreparedWorkload w = prepare_workload(spec, env.scale, env.batch);
-    AlgoTimes st = time_with_partition(w, team, workers, env.reps, true);
-    AlgoTimes dy = time_with_partition(w, team, workers, env.reps, false);
+    AlgoTimes st =
+        time_with_partition(w, team, workers, env.reps, ScheduleMode::kStatic);
+    AlgoTimes dy =
+        time_with_partition(w, team, workers, env.reps, ScheduleMode::kDynamic);
+    AlgoTimes pl =
+        time_with_partition(w, team, workers, env.reps, ScheduleMode::kPlan);
     table.add_row({spec.name, fmt(st.insert_ms.mean), fmt(dy.insert_ms.mean),
-                   fmt(st.remove_ms.mean), fmt(dy.remove_ms.mean)});
+                   fmt(pl.insert_ms.mean), fmt(st.remove_ms.mean),
+                   fmt(dy.remove_ms.mean), fmt(pl.remove_ms.mean)});
     std::fflush(stdout);
   }
   table.print();

@@ -337,7 +337,10 @@ Json engine_cell_json(const std::string& policy, int producers, int workers,
       .set("applied_removes", r.stats.applied_removes)
       .set("annihilated_pairs", std::uint64_t{r.stats.coalesce.annihilated_pairs})
       .set("duplicates", std::uint64_t{r.stats.coalesce.duplicates})
-      .set("noops", std::uint64_t{r.stats.coalesce.noops});
+      .set("noops", std::uint64_t{r.stats.coalesce.noops})
+      .set("plan_batches", r.stats.plan.batches)
+      .set("plan_waves", r.stats.plan.waves)
+      .set("plan_steals", r.stats.plan.steals);
 }
 
 Table::Table(std::vector<std::string> headers) {

@@ -95,16 +95,37 @@ std::uint64_t StreamingEngine::flush_locked() {
   std::vector<GraphUpdate> raw;
   queue_.drain(raw);
 
-  CoalescedBatch batch = coalesce(raw, graph_);
+  // Plan mode: have the coalescer emit pre-bucketed batches (sorted by
+  // the planner's locality key) so planning cost is amortised into the
+  // drain — BatchPlan::build detects the order and skips its sort.
+  const bool planned =
+      opts_.maintainer.schedule == ScheduleMode::kPlan;
+  CoalescedBatch batch =
+      coalesce(raw, graph_, planned ? &maintainer_.state() : nullptr);
   BatchResult ins, rem;
+  EngineStats::PlanAggregate plan_delta;
+  auto absorb_plan = [&] {
+    const PlanStats& p = maintainer_.last_plan_stats();
+    if (p.edges == 0) return;
+    ++plan_delta.batches;
+    plan_delta.buckets += p.buckets;
+    plan_delta.waves += p.waves;
+    plan_delta.overflow_edges += p.overflow_edges;
+    plan_delta.presorted += p.presorted ? 1 : 0;
+    plan_delta.steals += p.steals;
+  };
   // Disjoint by construction, so the two sequential maintainer calls
   // are exactly the paper's non-overlapping batch protocol. Removes run
   // first so a flush never makes the graph transiently denser than its
   // final state.
-  if (!batch.removes.empty())
+  if (!batch.removes.empty()) {
     rem = maintainer_.remove_batch(batch.removes, opts_.workers);
-  if (!batch.inserts.empty())
+    absorb_plan();
+  }
+  if (!batch.inserts.empty()) {
     ins = maintainer_.insert_batch(batch.inserts, opts_.workers);
+    absorb_plan();
+  }
 
   // Quiescent point: the batch is fully applied and no worker holds OM
   // pointers, so quarantined order-list groups can be reclaimed.
@@ -138,6 +159,12 @@ std::uint64_t StreamingEngine::flush_locked() {
       stats_.memory = mem_sample;
     }
     stats_.coalesce += batch.stats;
+    stats_.plan.batches += plan_delta.batches;
+    stats_.plan.buckets += plan_delta.buckets;
+    stats_.plan.waves += plan_delta.waves;
+    stats_.plan.overflow_edges += plan_delta.overflow_edges;
+    stats_.plan.presorted += plan_delta.presorted;
+    stats_.plan.steals += plan_delta.steals;
     stats_.flush_us.record(static_cast<std::size_t>(flush_ms * 1000.0));
     stats_.batch_sizes.record(raw.size());
   }
@@ -212,6 +239,21 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
               static_cast<long>(base.om_compact_interval)));
   if (std::getenv("PARCORE_ENGINE_SNAPSHOT_GRAPH") != nullptr)
     base.snapshot_graph = env_flag("PARCORE_ENGINE_SNAPSHOT_GRAPH");
+  if (std::getenv("PARCORE_ENGINE_PLAN") != nullptr)
+    base.maintainer.schedule = env_flag("PARCORE_ENGINE_PLAN")
+                                   ? ScheduleMode::kPlan
+                                   : ScheduleMode::kDynamic;
+  // Clamped: a stray negative/huge value would otherwise silently
+  // degrade every planned batch (e.g. a chunk size cast to ~SIZE_MAX
+  // forces the serial fast path).
+  base.maintainer.plan.max_waves = static_cast<int>(std::clamp(
+      env_int("PARCORE_ENGINE_PLAN_MAX_WAVES",
+              static_cast<long>(base.maintainer.plan.max_waves)),
+      1L, 1L << 20));
+  base.maintainer.plan.chunk_edges = static_cast<std::size_t>(std::clamp(
+      env_int("PARCORE_ENGINE_PLAN_CHUNK",
+              static_cast<long>(base.maintainer.plan.chunk_edges)),
+      1L, 4096L));
   return base;
 }
 

@@ -73,6 +73,19 @@ struct EngineStats {
                               // coalescer pre-filters no-ops)
   std::uint64_t om_compactions = 0;        // quiescent compact_all() runs
   std::uint64_t om_groups_reclaimed = 0;   // OM groups freed by them
+  /// Conflict-aware dispatch accounting, summed over every planned
+  /// batch (insert and remove batches plan separately). All zero unless
+  /// Options::maintainer.schedule == ScheduleMode::kPlan.
+  struct PlanAggregate {
+    std::uint64_t batches = 0;         // planned batches executed
+    std::uint64_t buckets = 0;         // summed distinct affected levels
+    std::uint64_t waves = 0;           // summed conflict-free waves
+    std::uint64_t overflow_edges = 0;  // edges past max_waves (hubs)
+    std::uint64_t presorted = 0;       // batches where the coalescer's
+                                       // pre-bucketing skipped the sort
+    std::uint64_t steals = 0;          // chunks run by a non-owner
+  };
+  PlanAggregate plan;
   /// Adjacency-storage footprint. The sample is an O(n) scan, so it is
   /// refreshed only at OM compactions and at stop() — not every flush;
   /// between those points it may lag the live graph.

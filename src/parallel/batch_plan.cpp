@@ -1,0 +1,202 @@
+#include "parallel/batch_plan.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "om/order_list.h"
+
+namespace parcore {
+
+namespace {
+
+inline OmKey om_key_of(const CoreState& state, VertexId v) {
+  const OmItem& item = state.item(v);
+  OmKey key;
+  const OmGroup* g = item.group.load(std::memory_order_acquire);
+  if (g != nullptr) key.group_label = g->label.load(std::memory_order_relaxed);
+  key.item_label = item.label.load(std::memory_order_relaxed);
+  return key;
+}
+
+constexpr PlanSortKey kInvalidKey{std::numeric_limits<CoreValue>::max(),
+                                  ~0ULL, ~0ULL};
+
+}  // namespace
+
+PlanSortKey plan_sort_key(const CoreState& state, Edge e) {
+  const CoreValue cu = state.core(e.u).load(std::memory_order_relaxed);
+  const CoreValue cv = state.core(e.v).load(std::memory_order_relaxed);
+  // The operation lands in O_k of the endpoint with the lower core;
+  // core ties break toward u without comparing OM positions — the key
+  // is a locality heuristic, and resolving the tie exactly would cost a
+  // second group-pointer chase (one more cache miss) per edge.
+  const OmKey k = om_key_of(state, cv < cu ? e.v : e.u);
+  return PlanSortKey{std::min(cu, cv), k.group_label, k.item_label};
+}
+
+void BatchPlan::build(std::span<const Edge> edges, const CoreState& state,
+                      const PlanOptions& opts, bool locality_only) {
+  const std::size_t m = edges.size();
+  const std::size_t n = state.size();
+  stats_ = PlanStats{};
+  stats_.edges = m;
+  order_.clear();
+  waves_.clear();
+  chunk_ = std::max<std::size_t>(1, opts.chunk_edges);
+  if (m == 0) return;
+
+  if (mark_.size() < n) {
+    mark_.resize(n, 0);
+    last_wave_.resize(n, 0);
+  }
+  if (++epoch_ == 0) {  // counter wrapped: marks are ambiguous, reset
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+
+  // 1. Locality keys, packed with their source index. Invalid edges
+  // (the worker op skips them without locking anything) sort last and
+  // join the overflow wave.
+  keyed_.resize(m);
+  bool presorted = true;
+  CoreValue max_level = 0;
+  std::size_t invalid = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Edge e = edges[i];
+    if (e.u == e.v || e.u >= n || e.v >= n) {
+      keyed_[i].first = kInvalidKey;
+      ++invalid;
+    } else {
+      keyed_[i].first = plan_sort_key(state, e);
+      max_level = std::max(max_level, keyed_[i].first.level);
+    }
+    keyed_[i].second = static_cast<std::uint32_t>(i);
+    if (i > 0 && keyed_[i].first < keyed_[i - 1].first) presorted = false;
+  }
+  stats_.presorted = presorted;
+
+  // 2. Bucket pass into (level, OM position) order. A comparison sort
+  // over the whole batch is the planner's hottest step, so levels —
+  // small dense integers — go through a stable counting scatter, and
+  // only the per-level segments are comparison-sorted (the packed
+  // source index tiebreaks equal keys, so the result is stable: equal
+  // keys keep drain order and plans are deterministic for a fixed
+  // input). The OM refinement is skipped in locality-only mode — there
+  // the serial sweep gains more from level bucketing than the segment
+  // sorts cost, but not from the finer OM order. Skipped entirely when
+  // the producer (the engine's coalescer) already bucketed the batch.
+  if (!presorted) {
+    const auto levels = static_cast<std::size_t>(max_level) + 1;
+    offsets_.assign(levels + 2, 0);  // slot levels+1 collects invalids
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t lv = keyed_[i].first == kInvalidKey
+                                 ? levels
+                                 : static_cast<std::size_t>(
+                                       keyed_[i].first.level);
+      ++offsets_[lv + 1];
+    }
+    for (std::size_t l = 0; l + 1 < offsets_.size(); ++l)
+      offsets_[l + 1] += offsets_[l];
+    scatter_.resize(m);
+    {
+      std::vector<std::size_t>& cur = counts_;
+      cur.assign(offsets_.begin(), offsets_.end());
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t lv = keyed_[i].first == kInvalidKey
+                                   ? levels
+                                   : static_cast<std::size_t>(
+                                         keyed_[i].first.level);
+        scatter_[cur[lv]++] = keyed_[i];
+      }
+    }
+    keyed_.swap(scatter_);
+    if (!locality_only) {
+      for (std::size_t l = 0; l <= levels; ++l)
+        std::sort(
+            keyed_.begin() + static_cast<std::ptrdiff_t>(offsets_[l]),
+            keyed_.begin() + static_cast<std::ptrdiff_t>(offsets_[l + 1]));
+    }
+  }
+
+  // Bucket count: distinct levels among valid edges, now contiguous.
+  {
+    CoreValue prev = -1;
+    for (std::size_t pos = 0; pos + invalid < m; ++pos) {
+      if (keyed_[pos].first.level != prev) {
+        ++stats_.buckets;
+        prev = keyed_[pos].first.level;
+      }
+    }
+  }
+
+  order_.resize(m);
+  if (locality_only) {
+    // Caller will dispatch with effective parallelism 1 (workers or
+    // hardware threads): vertex-disjoint waves cannot pay — only the
+    // bucketed order's cache locality can. Emit one wave holding the
+    // bucket-sorted sequence and skip colouring + scatter entirely.
+    stats_.waves = 1;
+    stats_.locality_only = true;
+    for (std::size_t pos = 0; pos < m; ++pos)
+      order_[pos] = edges[keyed_[pos].second];
+    waves_.push_back(WaveRange{0, m});
+    return;
+  }
+
+  // 3. Greedy wave colouring in bucketed order: an edge goes one wave
+  // past the last wave either endpoint occupies, so no wave sees a
+  // vertex twice. Hot vertices climb one wave per incident edge and
+  // spill into the overflow wave at max_waves.
+  const std::int32_t overflow =
+      std::max(1, opts.max_waves);  // wave ids 0..overflow
+  wave_at_.resize(m);
+  std::int32_t top_wave = -1;
+  bool any_overflow = false;
+  for (std::size_t pos = 0; pos < m; ++pos) {
+    if (keyed_[pos].first == kInvalidKey) {
+      wave_at_[pos] = overflow;
+      any_overflow = true;
+      continue;
+    }
+    const Edge e = edges[keyed_[pos].second];
+    const std::int32_t wu =
+        mark_[e.u] == epoch_ ? last_wave_[e.u] : std::int32_t{-1};
+    const std::int32_t wv =
+        mark_[e.v] == epoch_ ? last_wave_[e.v] : std::int32_t{-1};
+    std::int32_t w = std::max(wu, wv) + 1;
+    if (w >= overflow) {
+      w = overflow;
+      ++stats_.overflow_edges;
+      any_overflow = true;
+    } else {
+      top_wave = std::max(top_wave, w);
+    }
+    mark_[e.u] = epoch_;
+    last_wave_[e.u] = w;
+    mark_[e.v] = epoch_;
+    last_wave_[e.v] = w;
+    wave_at_[pos] = w;
+  }
+  stats_.waves = static_cast<std::size_t>(top_wave + 1);
+
+  // 4. Stable counting scatter into wave-major order; within a wave the
+  // bucketed (level, OM) order survives, which is the locality the
+  // chunked dispatch exploits.
+  const std::size_t nw = static_cast<std::size_t>(overflow) + 1;
+  offsets_.assign(nw + 1, 0);
+  for (std::size_t pos = 0; pos < m; ++pos)
+    ++offsets_[static_cast<std::size_t>(wave_at_[pos]) + 1];
+  for (std::size_t w = 0; w < nw; ++w) offsets_[w + 1] += offsets_[w];
+
+  waves_.reserve(stats_.waves + (any_overflow ? 1 : 0));
+  for (std::size_t w = 0; w < nw; ++w)
+    if (offsets_[w + 1] > offsets_[w])
+      waves_.push_back(WaveRange{offsets_[w], offsets_[w + 1]});
+
+  for (std::size_t pos = 0; pos < m; ++pos) {
+    order_[offsets_[static_cast<std::size_t>(wave_at_[pos])]++] =
+        edges[keyed_[pos].second];
+  }
+}
+
+}  // namespace parcore

@@ -1,0 +1,236 @@
+// Conflict-aware batch planning for parallel maintenance dispatch.
+//
+// Naive dispatch hands coalesced edges to workers one at a time off a
+// single shared counter: arbitrary interleaving makes workers collide
+// on shared endpoints, thrash lock_endpoints, and churn the same O_k
+// (KOrderHeap re-snapshot storms). The planner pre-partitions a batch
+// so workers operate on disjoint regions of the k-order instead:
+//
+//   1. bucket  — edges are grouped by affected level
+//                k = min(core(u), core(v)), the O_k an operation lands
+//                in, so a worker's consecutive edges stay in one list;
+//   2. wave    — within the bucketed order, edges are split into
+//                conflict-free waves: no two edges in a wave share a
+//                vertex (greedy endpoint-occupancy colouring), so a
+//                wave's endpoint locks are contention-free by
+//                construction. Waves beyond `max_waves` (hub vertices
+//                with more batch edges than waves) fall into a final
+//                overflow wave that is NOT conflict-free — those edges
+//                serialise on their hub's lock no matter the schedule;
+//   3. sort    — each wave inherits the (level, OM position) order of
+//                the bucket pass, so a worker's consecutive edges touch
+//                adjacent OM groups (cache + relabel locality);
+//   4. dispatch— workers sweep the waves in order, claiming each wave's
+//                edges as cache-line-sized chunks from per-worker
+//                cursors over a static chunk split, stealing other
+//                workers' remainders — replacing the single hot `next`
+//                counter of dynamic dispatch. There is NO barrier
+//                between waves: a worker advances as soon as the
+//                current wave is fully CLAIMED, so at most P-1 stale
+//                in-flight chunks can overlap the next wave (a bounded
+//                contention window, vs the unbounded collisions of
+//                naive dispatch). A hard fence was measured to lose
+//                badly when workers oversubscribe cores: every wave
+//                then costs a full scheduling round-trip.
+//
+// Wave disjointness is a performance property, not a correctness one:
+// the maintainer's per-vertex CAS locks stay in force, so a stale plan
+// (cores moved between build and execute) degrades locality, never
+// safety. Plans are built at batch quiescence on the dispatching
+// thread; DESIGN.md §9 has the full picture.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "maint/core_state.h"
+#include "support/types.h"
+#include "sync/thread_team.h"
+
+namespace parcore {
+
+struct PlanOptions {
+  /// Conflict-free waves before edges spill into the overflow wave.
+  /// A vertex with more than max_waves batch edges overflows. Waves are
+  /// cheap (barrier-free dispatch; cost is one cursor row per wave), so
+  /// the default is generous.
+  int max_waves = 256;
+  /// Edges per dispatch chunk (8 x 8-byte Edge = one cache line).
+  std::size_t chunk_edges = 8;
+};
+
+struct PlanStats {
+  std::size_t edges = 0;           // batch size planned
+  std::size_t buckets = 0;         // distinct affected levels
+  std::size_t waves = 0;           // conflict-free waves emitted
+  std::size_t overflow_edges = 0;  // edges in the non-disjoint overflow wave
+  bool presorted = false;          // input already in (level, OM) order
+  bool locality_only = false;      // built for serial dispatch: bucket
+                                   // order only, no wave colouring
+  std::uint64_t steals = 0;        // chunks run by a non-owning worker
+};
+
+/// Locality key of an edge operation: the affected level and the OM
+/// position of the k-order-lower endpoint. Plain relaxed label reads —
+/// valid at batch quiescence (plan build time, coalesce time); a racing
+/// relabel would only perturb the sort, which is heuristic anyway.
+struct PlanSortKey {
+  CoreValue level = 0;
+  std::uint64_t group_label = 0;
+  std::uint64_t item_label = 0;
+
+  friend constexpr auto operator<=>(const PlanSortKey&,
+                                    const PlanSortKey&) = default;
+};
+
+PlanSortKey plan_sort_key(const CoreState& state, Edge e);
+
+class BatchPlan {
+ public:
+  /// Plans `edges` against the current cores/k-order. Invalid edges
+  /// (self-loops, out-of-range endpoints) are routed to the overflow
+  /// wave — they must still reach the worker op to be counted as
+  /// skipped. If the input already arrives in (level, OM) order (the
+  /// engine's coalescer pre-buckets its batches), the sort is skipped —
+  /// detection is a single O(m) scan.
+  ///
+  /// `locality_only` is for callers that will dispatch with effective
+  /// parallelism 1 (one worker requested, or workers oversubscribe a
+  /// single hardware thread): waves can't pay there, so the plan is
+  /// just the bucket-sorted order in a single wave — colouring and
+  /// scatter are skipped and the serial sweep keeps full cache
+  /// locality (wave scatter deliberately interleaves a hot vertex's
+  /// edges, which is exactly wrong for one executor).
+  void build(std::span<const Edge> edges, const CoreState& state,
+             const PlanOptions& opts, bool locality_only = false);
+
+  /// Runs `op(worker, edge)` over the plan with `workers` threads of
+  /// `team`: wave-by-wave, chunk-claimed, work-stolen (header comment).
+  /// Returns the number of ops that returned true; records steals into
+  /// stats(). Op must be safe to run concurrently on distinct workers.
+  template <typename Op>
+  std::size_t execute(ThreadTeam& team, int workers, Op&& op);
+
+  const PlanStats& stats() const { return stats_; }
+
+  std::size_t num_waves() const { return waves_.size(); }
+  /// Edges of wave `i` in planned order (bucket-major, OM-sorted).
+  std::span<const Edge> wave(std::size_t i) const {
+    return std::span<const Edge>(order_.data() + waves_[i].begin,
+                                 waves_[i].end - waves_[i].begin);
+  }
+
+ private:
+  struct WaveRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  struct alignas(64) Cursor {
+    std::atomic<std::size_t> next{0};
+    std::size_t hi = 0;
+
+    Cursor() = default;
+    Cursor(const Cursor& o)  // vector resize only; never copied live
+        : next(o.next.load(std::memory_order_relaxed)), hi(o.hi) {}
+  };
+
+  std::vector<Edge> order_;  // wave-major planned sequence
+  std::vector<WaveRange> waves_;
+  std::vector<Cursor> cursors_;  // (wave x worker) claim grid
+  PlanStats stats_;
+  std::size_t chunk_ = 8;
+
+  // Reusable scratch: epoch-marked per-vertex wave occupancy (no O(n)
+  // clear per batch) plus sort buffers, so steady-state planning stops
+  // allocating once the high-water marks are reached. Keys are packed
+  // with their source index so the sort never chases a second array.
+  std::vector<std::uint32_t> mark_;
+  std::vector<std::int32_t> last_wave_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::pair<PlanSortKey, std::uint32_t>> keyed_;
+  std::vector<std::pair<PlanSortKey, std::uint32_t>> scatter_;
+  std::vector<std::int32_t> wave_at_;  // wave id per sorted position
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> counts_;
+};
+
+template <typename Op>
+std::size_t BatchPlan::execute(ThreadTeam& team, int workers, Op&& op) {
+  if (order_.empty()) return 0;
+  const int p = std::max(1, std::min(workers, team.max_workers()));
+  if (p == 1 || order_.size() <= chunk_) {
+    // Serial fast path: no cursors, no claiming.
+    std::size_t done = 0;
+    for (const Edge& e : order_)
+      if (op(0, e)) ++done;
+    return done;
+  }
+
+  // One cursor row per (wave, worker), seeded up front so workers never
+  // synchronise to hand cursors over: global chunk ids of the wave,
+  // statically split P ways, each share claimable by thieves once its
+  // owner falls behind. Cursors are cache-line sized so a claim never
+  // invalidates a neighbour's hot line (the false-sharing fix a single
+  // shared `next` counter cannot have).
+  const auto up = static_cast<std::size_t>(p);
+  cursors_.resize(waves_.size() * up);
+  for (std::size_t w = 0; w < waves_.size(); ++w) {
+    const WaveRange r = waves_[w];
+    const std::size_t chunks = (r.end - r.begin + chunk_ - 1) / chunk_;
+    for (std::size_t i = 0; i < up; ++i) {
+      Cursor& c = cursors_[w * up + i];
+      c.next.store(chunks * i / up, std::memory_order_relaxed);
+      c.hi = chunks * (i + 1) / up;
+    }
+  }
+  struct alignas(64) Totals {
+    std::atomic<std::size_t> applied{0};
+    std::atomic<std::uint64_t> steals{0};
+  } totals;
+
+  team.run(p, [&, this](int wk) {
+    const auto self = static_cast<std::size_t>(wk);
+    std::size_t done = 0;
+    std::uint64_t steals = 0;
+    for (std::size_t w = 0; w < waves_.size(); ++w) {
+      const WaveRange r = waves_[w];
+      Cursor* row = cursors_.data() + w * up;
+      auto run_chunk = [&](std::size_t c) {
+        const std::size_t lo = r.begin + c * chunk_;
+        const std::size_t hi = std::min(lo + chunk_, r.end);
+        for (std::size_t j = lo; j < hi; ++j)
+          if (op(wk, order_[j])) ++done;
+      };
+      for (;;) {
+        const std::size_t c =
+            row[self].next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= row[self].hi) break;
+        run_chunk(c);
+      }
+      for (std::size_t d = 1; d < up; ++d) {
+        Cursor& victim = row[(self + d) % up];
+        for (;;) {
+          // Test before claiming so exhausted victims cost one load.
+          if (victim.next.load(std::memory_order_relaxed) >= victim.hi) break;
+          const std::size_t c =
+              victim.next.fetch_add(1, std::memory_order_relaxed);
+          if (c >= victim.hi) break;
+          ++steals;
+          run_chunk(c);
+        }
+      }
+      // No barrier: every chunk of wave w is claimed (own share drained,
+      // steal sweep found nothing), so advancing now overlaps at most
+      // the P-1 chunks still in flight on slower workers — see the
+      // header comment for why a hard fence loses.
+    }
+    totals.applied.fetch_add(done, std::memory_order_relaxed);
+    totals.steals.fetch_add(steals, std::memory_order_relaxed);
+  });
+  stats_.steals = totals.steals.load(std::memory_order_relaxed);
+  return totals.applied.load(std::memory_order_relaxed);
+}
+
+}  // namespace parcore

@@ -32,37 +32,66 @@ void ParallelOrderMaintainer::lock_endpoints(VertexId a, VertexId b) {
 template <typename Fn>
 BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
                                                int workers, Fn&& op) {
-  std::atomic<std::size_t> applied{0};
-  if (opts_.static_partition) {
-    // Paper Algorithm 5: split ΔE into P contiguous parts.
-    const std::size_t p =
-        static_cast<std::size_t>(std::max(1, std::min(workers, 1024)));
-    team_.run(workers, [&](int w) {
-      WorkerCtx& ctx = ctxs_[static_cast<std::size_t>(w)];
-      const std::size_t base = edges.size() / p;
-      const std::size_t extra = edges.size() % p;
-      const auto uw = static_cast<std::size_t>(w);
-      const std::size_t begin = uw * base + std::min(uw, extra);
-      const std::size_t len = base + (uw < extra ? 1 : 0);
-      std::size_t done = 0;
-      for (std::size_t i = begin; i < begin + len; ++i)
-        if (op(ctx, edges[i])) ++done;
-      applied.fetch_add(done, std::memory_order_relaxed);
-    });
-  } else {
-    std::atomic<std::size_t> next{0};
-    team_.run(workers, [&](int w) {
-      WorkerCtx& ctx = ctxs_[static_cast<std::size_t>(w)];
-      std::size_t done = 0;
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= edges.size()) break;
-        if (op(ctx, edges[i])) ++done;
-      }
-      applied.fetch_add(done, std::memory_order_relaxed);
-    });
-  }
+  last_plan_ = PlanStats{};
   BatchResult r;
+  // The shared counters get a cache line each: `applied` takes one
+  // fetch_add per worker, but `next` is the per-edge hot word and must
+  // not ping-pong with it (or with the stack frame around them).
+  alignas(64) std::atomic<std::size_t> applied{0};
+  alignas(64) std::atomic<std::size_t> next{0};
+  switch (opts_.schedule) {
+    case ScheduleMode::kPlan: {
+      // Effective parallelism: claimers beyond the team or the hardware
+      // only add contention. When it degenerates to 1 the plan drops
+      // wave colouring and becomes a pure locality schedule — the
+      // dispatch then stays on the calling thread, skipping the team
+      // wake-up entirely (measurably cheaper when workers oversubscribe
+      // a small machine).
+      const int effective = std::max(
+          1, std::min({workers, team_.max_workers(),
+                       ThreadTeam::hardware_workers()}));
+      plan_.build(edges, state_, opts_.plan, /*locality_only=*/effective == 1);
+      r.applied = plan_.execute(team_, effective, [&](int w, const Edge& e) {
+        return op(ctxs_[static_cast<std::size_t>(w)], e);
+      });
+      last_plan_ = plan_.stats();
+      r.skipped = edges.size() - r.applied;
+      return r;
+    }
+    case ScheduleMode::kStatic: {
+      // Paper Algorithm 5: split ΔE into P contiguous parts. P must
+      // match what ThreadTeam::run will actually launch — a share
+      // assigned past team capacity would silently never execute.
+      const std::size_t p = static_cast<std::size_t>(
+          std::max(1, std::min({workers, team_.max_workers(), 1024})));
+      team_.run(workers, [&](int w) {
+        WorkerCtx& ctx = ctxs_[static_cast<std::size_t>(w)];
+        const std::size_t base = edges.size() / p;
+        const std::size_t extra = edges.size() % p;
+        const auto uw = static_cast<std::size_t>(w);
+        const std::size_t begin = uw * base + std::min(uw, extra);
+        const std::size_t len = base + (uw < extra ? 1 : 0);
+        std::size_t done = 0;
+        for (std::size_t i = begin; i < begin + len; ++i)
+          if (op(ctx, edges[i])) ++done;
+        applied.fetch_add(done, std::memory_order_relaxed);
+      });
+      break;
+    }
+    case ScheduleMode::kDynamic: {
+      team_.run(workers, [&](int w) {
+        WorkerCtx& ctx = ctxs_[static_cast<std::size_t>(w)];
+        std::size_t done = 0;
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= edges.size()) break;
+          if (op(ctx, edges[i])) ++done;
+        }
+        applied.fetch_add(done, std::memory_order_relaxed);
+      });
+      break;
+    }
+  }
   r.applied = applied.load(std::memory_order_relaxed);
   r.skipped = edges.size() - r.applied;
   return r;
@@ -415,19 +444,20 @@ void ParallelOrderMaintainer::repair_dout_after_removal(int workers) {
   // Restore d+out exactness at batch quiescence (DESIGN.md §3.1): the
   // union of all touched sets covers every vertex whose successor set
   // can have changed.
-  std::vector<VertexId> unique;
+  repair_unique_.clear();  // keeps capacity: steady-state flushes
+                           // stop allocating here
   for (auto& ctx : ctxs_) {
     for (VertexId v : ctx.touched) {
       if (mark_[v] != epoch_) {
         mark_[v] = epoch_;
-        unique.push_back(v);
+        repair_unique_.push_back(v);
       }
     }
     ctx.touched.clear();
   }
-  if (unique.empty()) return;
-  parallel_for(team_, workers, 0, unique.size(), [&](std::size_t i) {
-    const VertexId v = unique[i];
+  if (repair_unique_.empty()) return;
+  parallel_for(team_, workers, 0, repair_unique_.size(), [&](std::size_t i) {
+    const VertexId v = repair_unique_[i];
     state_.dout(v).store(state_.compute_dout(graph_, v),
                          std::memory_order_relaxed);
   });

@@ -29,6 +29,7 @@
 
 #include "graph/dynamic_graph.h"
 #include "maint/core_state.h"
+#include "parallel/batch_plan.h"
 #include "parallel/korder_heap.h"
 #include "support/histogram.h"
 #include "support/types.h"
@@ -42,12 +43,21 @@ struct BatchResult {
   std::size_t skipped = 0;  // self-loops, duplicates, missing edges
 };
 
+/// How a batch is split across workers (DESIGN.md §9):
+///   kDynamic — edges claimed one at a time off a shared counter
+///              (default; best when per-edge costs are skewed);
+///   kStatic  — the paper's Algorithm 5 contiguous P-way split;
+///   kPlan    — conflict-aware plan: level buckets, vertex-disjoint
+///              waves, OM-sorted chunks with stealing (batch_plan.h).
+enum class ScheduleMode { kDynamic, kStatic, kPlan };
+
 class ParallelOrderMaintainer {
  public:
   struct Options {
     CoreState::Options state{};
-    bool collect_stats = false;    // Fig. 1 histograms
-    bool static_partition = false; // paper's static split vs dynamic queue
+    bool collect_stats = false;  // Fig. 1 histograms
+    ScheduleMode schedule = ScheduleMode::kDynamic;
+    PlanOptions plan{};  // used when schedule == kPlan
   };
 
   /// Mutates `g`; both `g` and `team` must outlive the maintainer.
@@ -90,8 +100,15 @@ class ParallelOrderMaintainer {
   SizeHistogram insert_vstar_histogram() const;
   SizeHistogram remove_vstar_histogram() const;
 
+  /// Plan of the most recent batch (zeroed at every batch start; stays
+  /// zero unless schedule == kPlan). The engine aggregates these into
+  /// EngineStats; `parcore_cli serve --plan` prints them per flush.
+  const PlanStats& last_plan_stats() const { return last_plan_; }
+
  private:
-  struct WorkerCtx {
+  // One cache line per worker: the per-edge hot fields (queue heads,
+  // counters) of adjacent workers must not false-share.
+  struct alignas(64) WorkerCtx {
     KOrderHeap queue;
     VertexSet vstar;
     VertexSet inr;
@@ -128,10 +145,15 @@ class ParallelOrderMaintainer {
   Options opts_;
   CoreState state_;
   std::vector<WorkerCtx> ctxs_;
+  BatchPlan plan_;
+  PlanStats last_plan_;
 
   // Epoch-marked membership for deduplicating touched sets across
-  // workers without an O(n) clear per batch.
+  // workers without an O(n) clear per batch; `repair_unique_` is the
+  // deduplicated union, hoisted here so steady-state flushes reuse its
+  // capacity instead of reallocating every removal batch.
   std::vector<std::uint32_t> mark_;
+  std::vector<VertexId> repair_unique_;
   std::uint32_t epoch_ = 0;
 };
 

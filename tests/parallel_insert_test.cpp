@@ -136,7 +136,7 @@ TEST(ParallelInsert, StaticPartitionMatches) {
   auto g = DynamicGraph::from_edges(w.n, w.base);
   ThreadTeam team(4);
   ParallelOrderMaintainer::Options opts;
-  opts.static_partition = true;  // paper's Algorithm 5 partitioning
+  opts.schedule = ScheduleMode::kStatic;  // paper's Algorithm 5 partitioning
   ParallelOrderMaintainer m(g, team, opts);
   m.insert_batch(w.batch, 4);
   test::expect_cores_match(g, m.cores(), "static partition");

@@ -336,6 +336,8 @@ the batch that slides out of the window once it is full.
   --window N     live-edge window (default: half the dataset)
   --batch B      edges per step (default 1000)
   --workers W    parallel/je workers per batch (default 8)
+  --plan         conflict-aware wave scheduling (parallel algo only;
+                 DESIGN.md §9)
   --steps S      stop after S steps (default: until exhausted)
   --verify       recompute cores from scratch at the end and compare
 )";
@@ -371,14 +373,20 @@ int cmd_maintain(const Args& args) {
   DynamicGraph g = DynamicGraph::from_edges(
       data.num_vertices, std::vector<Edge>(live.begin(), live.end()));
 
+  if (args.has("plan") && algo != "parallel")
+    throw UsageError("--plan requires --algo parallel");
+
   // Only the selected maintainer is constructed: each constructor runs a
   // full decomposition, and the non-JE ones take over `g`.
   ThreadTeam team(std::max(workers, 1));
+  ParallelOrderMaintainer::Options par_opts;
+  if (args.has("plan")) par_opts.schedule = ScheduleMode::kPlan;
   std::unique_ptr<ParallelOrderMaintainer> par;
   std::unique_ptr<SeqOrderMaintainer> seq;
   std::unique_ptr<TraversalMaintainer> trav;
   std::unique_ptr<JeMaintainer> je;
-  if (algo == "parallel") par = std::make_unique<ParallelOrderMaintainer>(g, team);
+  if (algo == "parallel")
+    par = std::make_unique<ParallelOrderMaintainer>(g, team, par_opts);
   else if (algo == "seq") seq = std::make_unique<SeqOrderMaintainer>(g);
   else if (algo == "traversal") trav = std::make_unique<TraversalMaintainer>(g);
   else je = std::make_unique<JeMaintainer>(g, team);
@@ -546,6 +554,8 @@ is checked against a fresh bz_decompose unless --no-verify.
   --input FILE    temporal update stream (docs/FORMATS.md)
   --producers N   concurrent producer threads (default 4)
   --workers W     maintainer workers per flush (default: engine default)
+  --plan          conflict-aware wave scheduling per flush; prints the
+                  per-flush plan stats (buckets, waves, steals)
   --repeat R      replay the stream R times (default 1; load amplifier)
   --no-verify     skip the final bz_decompose comparison
 
@@ -576,6 +586,7 @@ int cmd_serve(const Args& args) {
   engine::StreamingEngine::Options opts = engine::options_from_env();
   if (args.has("workers"))
     opts.workers = static_cast<int>(args.get_positive("workers", opts.workers));
+  if (args.has("plan")) opts.maintainer.schedule = ScheduleMode::kPlan;
 
   DynamicGraph g(stream.num_vertices);
   ThreadTeam team(std::max(opts.workers, producers));
@@ -623,6 +634,20 @@ int cmd_serve(const Args& args) {
       100.0 * stats.memory.inline_fraction(),
       static_cast<unsigned long long>(stats.om_compactions),
       static_cast<unsigned long long>(stats.om_groups_reclaimed));
+  if (opts.maintainer.schedule == ScheduleMode::kPlan &&
+      stats.plan.batches > 0) {
+    const double b = static_cast<double>(stats.plan.batches);
+    std::printf(
+        "  plan: %llu planned batches (%llu presorted by coalescer); "
+        "per flush avg %.1f buckets, %.1f waves; "
+        "%llu overflow edges, %llu steals\n",
+        static_cast<unsigned long long>(stats.plan.batches),
+        static_cast<unsigned long long>(stats.plan.presorted),
+        static_cast<double>(stats.plan.buckets) / b,
+        static_cast<double>(stats.plan.waves) / b,
+        static_cast<unsigned long long>(stats.plan.overflow_edges),
+        static_cast<unsigned long long>(stats.plan.steals));
+  }
 
   if (!args.has("no-verify")) {
     // Per-edge op order is preserved inside one producer stream, so the
@@ -660,6 +685,7 @@ producers x workers cells).
   --input FILE   dataset (edge list / .mtx / .pcg)
   --name NAME    output BENCH_<NAME>.json (default "engine_file")
   --ops N        total updates to stream (default 200000; FAST 20000)
+  --plan         conflict-aware wave scheduling in every measured cell
 
 Honours PARCORE_BENCH_FAST / _MAX_WORKERS / _JSON_DIR (docs/CONFIG.md).
 )";
@@ -710,6 +736,8 @@ int cmd_bench(const Args& args) {
         opts.flush_threshold = policy.threshold;
         opts.adaptive = policy.adaptive;
         opts.flush_interval_ms = 2.0;
+        if (args.has("plan"))
+          opts.maintainer.schedule = ScheduleMode::kPlan;
         const bench::EngineCellResult r = bench::run_engine_cell(
             data.num_vertices, base, streams, team, opts);
         table.add_row(
@@ -734,6 +762,7 @@ int cmd_bench(const Args& args) {
                             .set("base_edges", std::uint64_t{base.size()})
                             .set("ops_total", std::uint64_t{ops_total})
                             .set("scale", 1.0)
+                            .set("plan", args.has("plan"))
                             .set("rows", rows);
   if (bench::write_bench_json(name, payload).empty()) return 1;
   return 0;
@@ -767,11 +796,12 @@ int cli_main(const std::vector<std::string>& args) {
        {"input", "algo", "workers", "top"}, {"histogram"}, cmd_decompose},
       {"convert", kConvertUsage, {"input", "output"}, {}, cmd_convert},
       {"maintain", kMaintainUsage,
-       {"input", "algo", "window", "batch", "workers", "steps"}, {"verify"},
-       cmd_maintain},
+       {"input", "algo", "window", "batch", "workers", "steps"},
+       {"verify", "plan"}, cmd_maintain},
       {"serve", kServeUsage,
-       {"input", "producers", "workers", "repeat"}, {"no-verify"}, cmd_serve},
-      {"bench", kBenchUsage, {"input", "name", "ops"}, {}, cmd_bench},
+       {"input", "producers", "workers", "repeat"}, {"no-verify", "plan"},
+       cmd_serve},
+      {"bench", kBenchUsage, {"input", "name", "ops"}, {"plan"}, cmd_bench},
       {"stats", kStatsUsage, {"input"}, {}, cmd_stats},
   };
 

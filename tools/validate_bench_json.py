@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Schema validation for the BENCH_*.json trajectory files.
+
+Usage: validate_bench_json.py FILE...
+
+Each file must parse as JSON, carry the shared envelope (bench name and
+a non-empty rows array), and every row must provide the per-bench
+required numeric fields. CI runs this over the perf-smoke outputs so a
+schema drift (renamed field, truncated write, NaN) fails the build
+instead of silently corrupting the perf trajectory.
+"""
+
+import json
+import math
+import sys
+
+# bench name -> fields every row must carry, with JSON number values.
+ROW_FIELDS = {
+    "engine_throughput": [
+        "policy", "producers", "workers", "seconds", "updates_per_sec",
+        "epochs", "p50_flush_ms", "p99_flush_ms", "applied_inserts",
+        "applied_removes", "plan_batches", "plan_waves", "plan_steals",
+    ],
+    "scheduler": [
+        "workload", "mode", "workers", "insert_ms", "remove_ms", "cycle_ms",
+        "plan_buckets", "plan_waves", "plan_overflow_edges", "plan_steals",
+    ],
+    "storage": [],  # storage rows are heterogeneous; envelope-only check
+}
+
+STRING_FIELDS = {"policy", "workload", "mode"}
+
+
+def fail(path, message):
+    print(f"{path}: FAILED - {message}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON ({e})")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return fail(path, "missing 'bench' name")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "missing or empty 'rows'")
+
+    required = ROW_FIELDS.get(bench, [])
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            return fail(path, f"row {i} is not an object")
+        for field in required:
+            if field not in row:
+                return fail(path, f"row {i} lacks '{field}'")
+            value = row[field]
+            if field in STRING_FIELDS:
+                if not isinstance(value, str) or not value:
+                    return fail(path, f"row {i} field '{field}' not a string")
+            elif not isinstance(value, (int, float)) or (
+                    isinstance(value, float) and not math.isfinite(value)):
+                return fail(path, f"row {i} field '{field}' not a finite "
+                                  f"number (got {value!r})")
+    print(f"{path}: ok ({bench}, {len(rows)} rows)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return max(validate(p) for p in argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
