@@ -1,0 +1,227 @@
+// Query-serving benchmark (ISSUE 5): publication cost of an epoch
+// snapshot — the full O(n) core-vector copy the engine used to make vs
+// the paged copy-on-write index (query/versioned_cores.h) — measured
+// as a mixed read/write workload: reader threads hammer the latest
+// published epoch with wait-free point reads while the writer applies
+// small maintainer batches and publishes after every batch.
+//
+// The claim under test is the ISSUE's acceptance criterion: per-epoch
+// publish time must scale with the batch (pages actually dirtied), not
+// with n. On the default ≥1M-vertex graph the full copy pays ~n every
+// epoch regardless of batch size; the paged publish tracks the batch.
+// Each paged cell ends with a differential check (materialized view ==
+// maintainer cores) so the speedup is only reported at equal
+// correctness.
+//
+// Emits BENCH_query.json (schema validated by
+// tools/validate_bench_json.py; committed baseline in bench/baselines/).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "decomp/core_query.h"
+#include "gen/generators.h"
+#include "graph/edge_list.h"
+#include "harness.h"
+#include "query/versioned_cores.h"
+#include "sync/spinlock.h"
+
+using namespace parcore;
+using namespace parcore::bench;
+
+namespace {
+
+constexpr int kReaders = 2;
+
+struct CellResult {
+  double publish_us_mean = 0.0;
+  double publish_us_p50 = 0.0;
+  double publish_us_p99 = 0.0;
+  double pages_cloned_mean = 0.0;  // full mode: every page, every epoch
+  double read_mqps = 0.0;
+  std::size_t epochs = 0;
+};
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// One measurement cell: `epochs` remove-then-reinsert rounds of
+/// `batch` edges, publishing after every maintainer call, with
+/// kReaders threads doing random point reads against the latest
+/// published epoch for the whole duration. `paged` selects the
+/// publication mechanism; the reader path matches it.
+CellResult run_cell(ParallelOrderMaintainer& maint,
+                    query::VersionedCoreIndex& index, std::size_t n,
+                    std::span<const Edge> batch, int workers,
+                    std::size_t epochs, bool paged) {
+  // Latest-epoch slot, swapped under a spinlock exactly like the
+  // engine's snapshot pointer (held for the copy only).
+  Spinlock slot_mu;
+  query::CoreView latest_view;
+  std::shared_ptr<const std::vector<CoreValue>> latest_full;
+  if (paged) {
+    // Untimed resync: cells must not inherit staleness from each other.
+    index.rebuild(n, [&](VertexId v) { return maint.core(v); });
+    latest_view = index.current();
+  } else {
+    latest_full = std::make_shared<const std::vector<CoreValue>>(
+        maint.cores());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(0xabc + static_cast<std::uint64_t>(r));
+      std::uint64_t local = 0;
+      volatile CoreValue sink = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        slot_mu.lock();
+        query::CoreView view = latest_view;
+        std::shared_ptr<const std::vector<CoreValue>> full = latest_full;
+        slot_mu.unlock();
+        for (int i = 0; i < 1024; ++i) {
+          const auto v = static_cast<VertexId>(rng.bounded(n));
+          sink = paged ? view.core(v) : (*full)[v];
+        }
+        local += 1024;
+      }
+      reads.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  CellResult cell;
+  std::vector<double> publish_us;
+  std::uint64_t pages = 0;
+  WallTimer cell_timer;
+  auto publish = [&] {
+    WallTimer t;
+    if (paged) {
+      query::CoreView view = index.publish(
+          maint.last_changed(), [&](VertexId v) { return maint.core(v); });
+      slot_mu.lock();
+      latest_view = std::move(view);
+      slot_mu.unlock();
+      pages += index.last_pages_cloned();
+    } else {
+      auto full =
+          std::make_shared<const std::vector<CoreValue>>(maint.cores());
+      slot_mu.lock();
+      latest_full = std::move(full);
+      slot_mu.unlock();
+      // What the full copy re-wrote, in page units for comparability.
+      pages += (n + index.page_size() - 1) / index.page_size();
+    }
+    publish_us.push_back(t.elapsed_ms() * 1000.0);
+    ++cell.epochs;
+  };
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    maint.remove_batch(batch, workers);
+    publish();
+    maint.insert_batch(batch, workers);
+    publish();
+  }
+  const double cell_sec = cell_timer.elapsed_ms() / 1000.0;
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  if (paged) {
+    // Equal-correctness gate: the paged epochs only count if the final
+    // view is bit-identical to the maintainer's ground truth.
+    const std::vector<CoreValue> truth = maint.cores();
+    if (index.current().materialize() != truth) {
+      std::fprintf(stderr,
+                   "FAILED: paged view diverged from maintainer cores\n");
+      std::exit(1);
+    }
+  }
+
+  cell.publish_us_mean = 0.0;
+  for (double us : publish_us) cell.publish_us_mean += us;
+  cell.publish_us_mean /= static_cast<double>(publish_us.size());
+  cell.publish_us_p50 = percentile(publish_us, 0.5);
+  cell.publish_us_p99 = percentile(publish_us, 0.99);
+  cell.pages_cloned_mean =
+      static_cast<double>(pages) / static_cast<double>(cell.epochs);
+  cell.read_mqps = cell_sec > 0
+                       ? static_cast<double>(reads.load()) / cell_sec / 1e6
+                       : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = bench_env();
+  // Acceptance scale: >= 1M vertices by default so the O(n) full copy
+  // is unmistakable; FAST shrinks for the CI smoke.
+  const std::size_t n = env.fast ? (std::size_t{1} << 17)
+                                 : (std::size_t{1} << 20);
+  const std::size_t m = 2 * n;
+  const std::size_t epochs = env.fast ? 4 : 8;
+  const int workers = std::min(env.max_workers, 4);
+
+  Rng rng(4242);
+  std::vector<Edge> edges = gen_erdos_renyi(n, m, rng);
+  canonicalize_edges(edges);
+  rng.shuffle(edges);  // batch slices are uniform samples of the graph
+  DynamicGraph g = DynamicGraph::from_edges(n, edges);
+  ThreadTeam team(std::max(workers, kReaders + 1));
+  ParallelOrderMaintainer maint(g, team);
+  query::VersionedCoreIndex index;  // engine-default 4096-core pages
+
+  std::printf("== query serving: ER n=%zu m=%zu, %zu epochs/cell, "
+              "%d readers, page %zu ==\n\n",
+              n, m, epochs, kReaders, index.page_size());
+
+  const std::vector<std::size_t> batch_sizes{16, 256, 4096};
+  Json rows = Json::array();
+  Table table({"mode", "batch", "epochs", "publish mean us", "p50 us",
+               "p99 us", "pages/epoch", "read Mq/s"});
+  for (std::size_t batch : batch_sizes) {
+    std::span<const Edge> slice(edges.data(), std::min(batch, edges.size()));
+    for (bool paged : {false, true}) {
+      const CellResult cell =
+          run_cell(maint, index, n, slice, workers, epochs, paged);
+      const char* mode = paged ? "paged" : "full-copy";
+      table.add_row({mode, std::to_string(batch),
+                     std::to_string(cell.epochs),
+                     fmt(cell.publish_us_mean, 1),
+                     fmt(cell.publish_us_p50, 1), fmt(cell.publish_us_p99, 1),
+                     fmt(cell.pages_cloned_mean, 1),
+                     fmt(cell.read_mqps, 2)});
+      rows.push(Json::object()
+                    .set("mode", mode)
+                    .set("batch", std::uint64_t{batch})
+                    .set("epochs", std::uint64_t{cell.epochs})
+                    .set("publish_us_mean", cell.publish_us_mean)
+                    .set("publish_us_p50", cell.publish_us_p50)
+                    .set("publish_us_p99", cell.publish_us_p99)
+                    .set("pages_cloned", cell.pages_cloned_mean)
+                    .set("read_mqps", cell.read_mqps));
+    }
+  }
+  table.print();
+
+  Json payload = Json::object()
+                     .set("bench", "query_serving")
+                     .set("graph", "er-uniform")
+                     .set("n", std::uint64_t{n})
+                     .set("m", std::uint64_t{m})
+                     .set("page_size", std::uint64_t{index.page_size()})
+                     .set("readers", kReaders)
+                     .set("workers", workers)
+                     .set("rows", rows);
+  if (write_bench_json("query", payload).empty()) return 1;
+  return 0;
+}

@@ -82,7 +82,7 @@ int main() {
       while (!stop_queries.load(std::memory_order_relaxed)) {
         auto snap = eng.snapshot();
         const auto v =
-            static_cast<VertexId>(rng.bounded(snap->cores.size()));
+            static_cast<VertexId>(rng.bounded(snap->num_vertices()));
         volatile CoreValue c = snap->core(v);
         (void)c;
         if (++local % 4096 == 0)  // occasional heavy query
@@ -126,7 +126,7 @@ int main() {
               graph.num_edges(), snap->max_core);
 
   std::string err;
-  if (!verify_cores(graph, snap->cores, &err)) {
+  if (!verify_cores(graph, snap->materialize(), &err)) {
     std::printf("VERIFICATION FAILED: %s\n", err.c_str());
     return 1;
   }

@@ -5,31 +5,64 @@
 
 namespace parcore {
 
-std::vector<VertexId> k_core_members(const std::vector<CoreValue>& cores,
-                                     CoreValue k) {
+namespace {
+
+// Uniform read adapter over the two core sources. Every public
+// overload pair dispatches into one template below, which is what
+// makes vector and CoreView results bit-identical by construction.
+struct VecCores {
+  const std::vector<CoreValue>& c;
+  std::size_t size() const { return c.size(); }
+  CoreValue at(VertexId v) const { return c[v]; }
+};
+struct ViewCores {
+  const query::CoreView& v;
+  std::size_t size() const { return v.size(); }
+  CoreValue at(VertexId x) const { return v.core(x); }
+};
+
+template <typename Cores>
+std::vector<VertexId> k_core_members_impl(const Cores& cores, CoreValue k) {
   std::vector<VertexId> out;
   for (VertexId v = 0; v < cores.size(); ++v)
-    if (cores[v] >= k) out.push_back(v);
+    if (cores.at(v) >= k) out.push_back(v);
   return out;
 }
 
-CoreSummary summarize_cores(const std::vector<CoreValue>& cores) {
+template <typename Cores>
+CoreSummary summarize_cores_impl(const Cores& cores) {
   CoreSummary s;
-  for (CoreValue c : cores) s.max_core = std::max(s.max_core, c);
+  // Empty input: return the empty summary as-is (empty histogram). The
+  // old code allocated histogram = {0} here, making a 0-vertex input
+  // indistinguishable from an all-core-0 graph.
+  if (cores.size() == 0) return s;
+  for (VertexId v = 0; v < cores.size(); ++v)
+    s.max_core = std::max(s.max_core, cores.at(v));
   s.histogram.assign(static_cast<std::size_t>(s.max_core) + 1, 0);
-  for (CoreValue c : cores) ++s.histogram[static_cast<std::size_t>(c)];
+  for (VertexId v = 0; v < cores.size(); ++v)
+    ++s.histogram[static_cast<std::size_t>(cores.at(v))];
   s.degeneracy_core_size =
       s.histogram[static_cast<std::size_t>(s.max_core)];
   return s;
 }
 
-std::vector<VertexId> subcore_of(const DynamicGraph& g,
-                                 const std::vector<CoreValue>& cores,
-                                 VertexId u) {
+// Graph walks index the core source with graph-derived ids, so the
+// traversal domain is the intersection of both: vertices past either
+// bound are out of scope, never an out-of-bounds read (ISSUE 5: a
+// snapshot core vector paired with a newer/older graph).
+template <typename Cores>
+std::size_t walk_limit(const DynamicGraph& g, const Cores& cores) {
+  return std::min(static_cast<std::size_t>(g.num_vertices()), cores.size());
+}
+
+template <typename Cores>
+std::vector<VertexId> subcore_of_impl(const DynamicGraph& g,
+                                      const Cores& cores, VertexId u) {
   std::vector<VertexId> out;
-  if (u >= g.num_vertices()) return out;
-  const CoreValue k = cores[u];
-  std::vector<bool> seen(g.num_vertices(), false);
+  const std::size_t limit = walk_limit(g, cores);
+  if (u >= limit) return out;
+  const CoreValue k = cores.at(u);
+  std::vector<bool> seen(limit, false);
   std::deque<VertexId> queue{u};
   seen[u] = true;
   while (!queue.empty()) {
@@ -37,7 +70,8 @@ std::vector<VertexId> subcore_of(const DynamicGraph& g,
     queue.pop_front();
     out.push_back(w);
     for (VertexId x : g.neighbors(w)) {
-      if (!seen[x] && cores[x] == k) {
+      if (x >= limit) continue;
+      if (!seen[x] && cores.at(x) == k) {
         seen[x] = true;
         queue.push_back(x);
       }
@@ -47,14 +81,16 @@ std::vector<VertexId> subcore_of(const DynamicGraph& g,
   return out;
 }
 
-std::vector<std::vector<VertexId>> all_subcores(
-    const DynamicGraph& g, const std::vector<CoreValue>& cores) {
+template <typename Cores>
+std::vector<std::vector<VertexId>> all_subcores_impl(const DynamicGraph& g,
+                                                     const Cores& cores) {
   std::vector<std::vector<VertexId>> out;
-  std::vector<bool> seen(g.num_vertices(), false);
+  const std::size_t limit = walk_limit(g, cores);
+  std::vector<bool> seen(limit, false);
   std::deque<VertexId> queue;
-  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+  for (VertexId root = 0; root < limit; ++root) {
     if (seen[root]) continue;
-    const CoreValue k = cores[root];
+    const CoreValue k = cores.at(root);
     seen[root] = true;
     queue.clear();
     queue.push_back(root);
@@ -64,7 +100,8 @@ std::vector<std::vector<VertexId>> all_subcores(
       queue.pop_front();
       comp.push_back(w);
       for (VertexId x : g.neighbors(w)) {
-        if (!seen[x] && cores[x] == k) {
+        if (x >= limit) continue;
+        if (!seen[x] && cores.at(x) == k) {
           seen[x] = true;
           queue.push_back(x);
         }
@@ -74,6 +111,75 @@ std::vector<std::vector<VertexId>> all_subcores(
     out.push_back(std::move(comp));
   }
   return out;
+}
+
+template <typename Cores>
+DynamicGraph k_core_subgraph_impl(const DynamicGraph& g, const Cores& cores,
+                                  CoreValue k,
+                                  std::vector<VertexId>* mapping) {
+  const std::size_t limit = walk_limit(g, cores);
+  std::vector<VertexId> map(g.num_vertices(), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < limit; ++v)
+    if (cores.at(v) >= k) map[v] = next++;
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (map[v] == kInvalidVertex) continue;
+    for (VertexId u : g.neighbors(v))
+      if (v < u && u < g.num_vertices() && map[u] != kInvalidVertex)
+        edges.push_back(Edge{map[v], map[u]});
+  }
+  DynamicGraph sub = DynamicGraph::from_edges(next, edges);
+  if (mapping != nullptr) *mapping = std::move(map);
+  return sub;
+}
+
+}  // namespace
+
+std::vector<VertexId> k_core_members(const std::vector<CoreValue>& cores,
+                                     CoreValue k) {
+  return k_core_members_impl(VecCores{cores}, k);
+}
+std::vector<VertexId> k_core_members(const query::CoreView& cores,
+                                     CoreValue k) {
+  return k_core_members_impl(ViewCores{cores}, k);
+}
+
+CoreSummary summarize_cores(const std::vector<CoreValue>& cores) {
+  return summarize_cores_impl(VecCores{cores});
+}
+CoreSummary summarize_cores(const query::CoreView& cores) {
+  return summarize_cores_impl(ViewCores{cores});
+}
+
+std::vector<VertexId> subcore_of(const DynamicGraph& g,
+                                 const std::vector<CoreValue>& cores,
+                                 VertexId u) {
+  return subcore_of_impl(g, VecCores{cores}, u);
+}
+std::vector<VertexId> subcore_of(const DynamicGraph& g,
+                                 const query::CoreView& cores, VertexId u) {
+  return subcore_of_impl(g, ViewCores{cores}, u);
+}
+
+std::vector<std::vector<VertexId>> all_subcores(
+    const DynamicGraph& g, const std::vector<CoreValue>& cores) {
+  return all_subcores_impl(g, VecCores{cores});
+}
+std::vector<std::vector<VertexId>> all_subcores(const DynamicGraph& g,
+                                                const query::CoreView& cores) {
+  return all_subcores_impl(g, ViewCores{cores});
+}
+
+DynamicGraph k_core_subgraph(const DynamicGraph& g,
+                             const std::vector<CoreValue>& cores, CoreValue k,
+                             std::vector<VertexId>* mapping) {
+  return k_core_subgraph_impl(g, VecCores{cores}, k, mapping);
+}
+DynamicGraph k_core_subgraph(const DynamicGraph& g,
+                             const query::CoreView& cores, CoreValue k,
+                             std::vector<VertexId>* mapping) {
+  return k_core_subgraph_impl(g, ViewCores{cores}, k, mapping);
 }
 
 std::vector<VertexId> degeneracy_order(const std::vector<CoreValue>& cores) {
@@ -113,25 +219,6 @@ Coloring degeneracy_coloring(const DynamicGraph& g,
     result.colors_used = std::max(result.colors_used, c + 1);
   }
   return result;
-}
-
-DynamicGraph k_core_subgraph(const DynamicGraph& g,
-                             const std::vector<CoreValue>& cores, CoreValue k,
-                             std::vector<VertexId>* mapping) {
-  std::vector<VertexId> map(g.num_vertices(), kInvalidVertex);
-  VertexId next = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v)
-    if (cores[v] >= k) map[v] = next++;
-  std::vector<Edge> edges;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (map[v] == kInvalidVertex) continue;
-    for (VertexId u : g.neighbors(v))
-      if (v < u && map[u] != kInvalidVertex)
-        edges.push_back(Edge{map[v], map[u]});
-  }
-  DynamicGraph sub = DynamicGraph::from_edges(next, edges);
-  if (mapping != nullptr) *mapping = std::move(map);
-  return sub;
 }
 
 }  // namespace parcore

@@ -4,11 +4,24 @@
 // These are the downstream consumers the paper's applications (§1)
 // rely on: dense-region extraction, super-spreader identification,
 // hierarchy inspection.
+//
+// Each query takes the core numbers either as a flat
+// `std::vector<CoreValue>` (static decompositions) or as a
+// `query::CoreView` (the engine's paged epoch snapshots,
+// query/versioned_cores.h). Both overloads run the same template
+// underneath, so results are bit-identical — the differential suite in
+// tests/query_view_test.cpp holds them to that.
+//
+// Robustness contract: the core source and the graph may disagree in
+// size (e.g. a held snapshot's cores paired with a newer graph).
+// Graph-walking queries treat a vertex outside EITHER domain as
+// out of scope instead of reading out of bounds.
 #pragma once
 
 #include <vector>
 
 #include "graph/dynamic_graph.h"
+#include "query/versioned_cores.h"
 #include "support/types.h"
 
 namespace parcore {
@@ -16,25 +29,35 @@ namespace parcore {
 /// Vertices with core number >= k (members of the k-core).
 std::vector<VertexId> k_core_members(const std::vector<CoreValue>& cores,
                                      CoreValue k);
+std::vector<VertexId> k_core_members(const query::CoreView& cores,
+                                     CoreValue k);
 
-/// The maximal core value and its vertex count.
+/// The maximal core value and its vertex count. Empty input yields the
+/// empty summary — `histogram` is empty (NOT `{0}`), so a 0-vertex
+/// input is distinguishable from a graph whose vertices all have
+/// core 0.
 struct CoreSummary {
   CoreValue max_core = 0;
   std::size_t degeneracy_core_size = 0;  // |{v : core(v) == max_core}|
   std::vector<std::size_t> histogram;    // count per core value
 };
 CoreSummary summarize_cores(const std::vector<CoreValue>& cores);
+CoreSummary summarize_cores(const query::CoreView& cores);
 
 /// The k-subcore containing u (Definition 3.3): the maximal connected
 /// set of vertices with core number == core(u) reachable from u.
-/// Returns empty if u is out of range.
+/// Returns empty if u is outside the graph or the core source.
 std::vector<VertexId> subcore_of(const DynamicGraph& g,
                                  const std::vector<CoreValue>& cores,
                                  VertexId u);
+std::vector<VertexId> subcore_of(const DynamicGraph& g,
+                                 const query::CoreView& cores, VertexId u);
 
 /// All k-subcores of the graph, as (representative-sorted) vertex lists.
 std::vector<std::vector<VertexId>> all_subcores(
     const DynamicGraph& g, const std::vector<CoreValue>& cores);
+std::vector<std::vector<VertexId>> all_subcores(const DynamicGraph& g,
+                                                const query::CoreView& cores);
 
 /// A degeneracy ordering (reverse of any valid peel order restricted to
 /// ties by core): vertices sorted by (core, id). Greedy colouring along
@@ -46,6 +69,9 @@ std::vector<VertexId> degeneracy_order(const std::vector<CoreValue>& cores);
 /// (optional) receives old-id -> new-id (kInvalidVertex if dropped).
 DynamicGraph k_core_subgraph(const DynamicGraph& g,
                              const std::vector<CoreValue>& cores, CoreValue k,
+                             std::vector<VertexId>* mapping = nullptr);
+DynamicGraph k_core_subgraph(const DynamicGraph& g,
+                             const query::CoreView& cores, CoreValue k,
                              std::vector<VertexId>* mapping = nullptr);
 
 /// Greedy colouring along the reverse degeneracy order — the classic

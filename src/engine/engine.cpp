@@ -5,16 +5,14 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "decomp/core_query.h"
 #include "support/env.h"
 #include "support/timer.h"
 
 namespace parcore::engine {
 
 std::vector<VertexId> EngineSnapshot::kcore_members(CoreValue k) const {
-  std::vector<VertexId> members;
-  for (VertexId v = 0; v < cores.size(); ++v)
-    if (cores[v] >= k) members.push_back(v);
-  return members;
+  return k_core_members(view, k);
 }
 
 StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
@@ -23,8 +21,17 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
       opts_(opts),
       maintainer_(g, team, opts.maintainer),
       queue_(opts.shards),
-      threshold_(std::max<std::size_t>(1, opts.flush_threshold)) {
-  publish_snapshot();  // epoch 0: the initial decomposition
+      threshold_(std::max<std::size_t>(1, opts.flush_threshold)),
+      index_(query::VersionedCoreIndex::Options{opts.snapshot_page}) {
+  // Epoch 0: the initial decomposition, the index's one full O(n)
+  // build. Every later epoch is a COW delta on top of it.
+  query::CoreView view = index_.rebuild(
+      graph_.num_vertices(), [this](VertexId v) { return maintainer_.core(v); });
+  stats_.snapshot_pages_cloned += index_.last_pages_cloned();
+  auto snap = build_snapshot(0, std::move(view));
+  snap_mu_.lock();
+  snap_ = std::move(snap);
+  snap_mu_.unlock();
   stats_.memory = graph_.memory_stats();
 }
 
@@ -117,14 +124,24 @@ std::uint64_t StreamingEngine::flush_locked() {
   // Disjoint by construction, so the two sequential maintainer calls
   // are exactly the paper's non-overlapping batch protocol. Removes run
   // first so a flush never makes the graph transiently denser than its
-  // final state.
+  // final state. `dirty_` accumulates the union of both batches'
+  // changed-core sets — the exact page set the COW publish must clone
+  // (a vertex demoted then re-promoted appears twice; the index dedups
+  // pages and re-reads the final value).
+  dirty_.clear();
+  auto absorb_changed = [&] {
+    const std::span<const VertexId> changed = maintainer_.last_changed();
+    dirty_.insert(dirty_.end(), changed.begin(), changed.end());
+  };
   if (!batch.removes.empty()) {
     rem = maintainer_.remove_batch(batch.removes, opts_.workers);
     absorb_plan();
+    absorb_changed();
   }
   if (!batch.inserts.empty()) {
     ins = maintainer_.insert_batch(batch.inserts, opts_.workers);
     absorb_plan();
+    absorb_changed();
   }
 
   // Quiescent point: the batch is fully applied and no worker holds OM
@@ -138,7 +155,15 @@ std::uint64_t StreamingEngine::flush_locked() {
     om_compacted = true;
   }
 
-  publish_snapshot();
+  const std::uint64_t epoch = ++published_epoch_;
+  // Time the COW publish alone: publish_us is the O(|V*| + dirty pages)
+  // claim under measurement, so the optional O(n+m) graph copy inside
+  // build_snapshot must not pollute it.
+  WallTimer publish_timer;
+  query::CoreView view = index_.publish(
+      dirty_, [this](VertexId v) { return maintainer_.core(v); });
+  const double publish_ms = publish_timer.elapsed_ms();
+  auto snap = build_snapshot(epoch, std::move(view));
 
   // The memory sample is an O(n) vertex scan: take it only on the
   // compaction cadence, and before stats_mu_ so readers never block on
@@ -149,7 +174,7 @@ std::uint64_t StreamingEngine::flush_locked() {
   const double flush_ms = timer.elapsed_ms();
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
-    ++stats_.epochs;
+    stats_.epochs = epoch;
     stats_.applied_inserts += ins.applied;
     stats_.applied_removes += rem.applied;
     stats_.skipped += ins.skipped + rem.skipped;
@@ -165,26 +190,33 @@ std::uint64_t StreamingEngine::flush_locked() {
     stats_.plan.overflow_edges += plan_delta.overflow_edges;
     stats_.plan.presorted += plan_delta.presorted;
     stats_.plan.steals += plan_delta.steals;
+    stats_.snapshot_pages_cloned += index_.last_pages_cloned();
+    stats_.publish_us.record(static_cast<std::size_t>(publish_ms * 1000.0));
     stats_.flush_us.record(static_cast<std::size_t>(flush_ms * 1000.0));
     stats_.batch_sizes.record(raw.size());
   }
+  // Swap the snapshot in only AFTER its stats are published: a reader
+  // that grabs snapshot() then stats() can never observe epoch e paired
+  // with stats from e-1 (the pre-ISSUE-5 snapshot/stats tear).
+  snap_mu_.lock();
+  snap_ = std::move(snap);
+  snap_mu_.unlock();
   if (opts_.adaptive) adapt_threshold(flush_ms, raw.size());
-  return snapshot()->epoch;
+  return epoch;
 }
 
-void StreamingEngine::publish_snapshot() {
+std::shared_ptr<EngineSnapshot> StreamingEngine::build_snapshot(
+    std::uint64_t epoch, query::CoreView view) {
   auto snap = std::make_shared<EngineSnapshot>();
-  snap->cores = maintainer_.cores();
+  snap->epoch = epoch;
+  snap->view = std::move(view);
   snap->max_core = maintainer_.state().max_core();
   snap->num_edges = graph_.num_edges();
   // Called at quiescence only (constructor / under flush_mu_ after the
   // batch), so the copy — a compact arena fill — sees a stable graph.
   if (opts_.snapshot_graph)
     snap->graph = std::make_shared<const DynamicGraph>(graph_);
-  snap_mu_.lock();
-  snap->epoch = snap_ ? snap_->epoch + 1 : 0;
-  snap_ = std::move(snap);
-  snap_mu_.unlock();
+  return snap;
 }
 
 void StreamingEngine::adapt_threshold(double flush_ms, std::size_t raw) {
@@ -239,6 +271,11 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
               static_cast<long>(base.om_compact_interval)));
   if (std::getenv("PARCORE_ENGINE_SNAPSHOT_GRAPH") != nullptr)
     base.snapshot_graph = env_flag("PARCORE_ENGINE_SNAPSHOT_GRAPH");
+  // The index clamps to [64, 1M] and rounds up to a power of two.
+  base.snapshot_page = static_cast<std::size_t>(std::max(
+      env_int("PARCORE_ENGINE_SNAPSHOT_PAGE",
+              static_cast<long>(base.snapshot_page)),
+      1L));
   if (std::getenv("PARCORE_ENGINE_PLAN") != nullptr)
     base.maintainer.schedule = env_flag("PARCORE_ENGINE_PLAN")
                                    ? ScheduleMode::kPlan

@@ -13,11 +13,15 @@
 //                 and applies them on a ThreadTeam. An adaptive policy
 //                 steers the size threshold toward a target flush
 //                 latency.
-//   3. query    — readers get epoch snapshots: an immutable core-number
-//                 vector published after each flush. Queries never wait
-//                 on graph maintenance (only on a spinlock held for a
-//                 pointer copy) and always see a state that existed at
-//                 some epoch boundary — never a half-applied batch.
+//   3. query    — readers get epoch snapshots: an immutable paged
+//                 CoreView (query/versioned_cores.h) published after
+//                 each flush. Publication is copy-on-write — only the
+//                 pages holding vertices the maintainer changed are
+//                 cloned, so publishing costs O(|V*| + dirty pages),
+//                 not O(n). Queries never wait on graph maintenance
+//                 (only on a spinlock held for a pointer copy) and
+//                 always see a state that existed at some epoch
+//                 boundary — never a half-applied batch.
 #pragma once
 
 #include <atomic>
@@ -31,6 +35,7 @@
 #include "engine/ingest.h"
 #include "graph/dynamic_graph.h"
 #include "parallel/parallel_order.h"
+#include "query/versioned_cores.h"
 #include "support/histogram.h"
 #include "support/types.h"
 #include "sync/notify.h"
@@ -41,9 +46,15 @@ namespace parcore::engine {
 
 /// Immutable view of the maintained state at one epoch boundary.
 /// Epoch 0 is the initial decomposition; epoch e > 0 is after e flushes.
+/// Core numbers live in `view`, a paged copy-on-write index: epochs
+/// share every page the flush did not touch, so holding many snapshots
+/// costs memory proportional to what actually changed between them.
 struct EngineSnapshot {
   std::uint64_t epoch = 0;
-  std::vector<CoreValue> cores;
+  /// Wait-free O(1) core(v) reads; immutable for this snapshot's
+  /// lifetime. The ported core_query overloads (decomp/core_query.h)
+  /// run directly against it.
+  query::CoreView view;
   CoreValue max_core = 0;
   std::size_t num_edges = 0;
   /// Deep copy of the graph at this epoch; null unless
@@ -52,10 +63,13 @@ struct EngineSnapshot {
   /// flush quiescence, so readers get a fully consistent structure.
   std::shared_ptr<const DynamicGraph> graph;
 
-  CoreValue core(VertexId v) const {
-    return v < cores.size() ? cores[v] : 0;
-  }
+  CoreValue core(VertexId v) const { return view.core(v); }
+  std::size_t num_vertices() const { return view.size(); }
   bool in_kcore(VertexId v, CoreValue k) const { return core(v) >= k; }
+
+  /// Legacy escape hatch: the flat core vector, copied O(n) from the
+  /// pages. New code should query `view` directly.
+  std::vector<CoreValue> materialize() const { return view.materialize(); }
 
   /// All vertices with core >= k (the k-core's vertex set).
   std::vector<VertexId> kcore_members(CoreValue k) const;
@@ -64,8 +78,14 @@ struct EngineSnapshot {
 /// Cumulative counters since engine construction. `flush_us` /
 /// `batch_sizes` are merged across flushes; percentiles come from
 /// SizeHistogram::percentile.
+///
+/// Epoch/stats consistency: `epochs` is the epoch of the snapshot the
+/// stats describe, and a flush updates stats BEFORE swapping the new
+/// snapshot in. A reader that grabs `snapshot()` and then `stats()` is
+/// therefore guaranteed `stats().epochs >= snapshot()->epoch` — stats
+/// can run ahead of the snapshot it saw, never behind it.
 struct EngineStats {
-  std::uint64_t epochs = 0;
+  std::uint64_t epochs = 0;  // epoch described by these stats
   std::uint64_t submitted = 0;
   std::uint64_t applied_inserts = 0;
   std::uint64_t applied_removes = 0;
@@ -91,6 +111,12 @@ struct EngineStats {
   /// between those points it may lag the live graph.
   GraphMemoryStats memory;
   CoalesceStats coalesce;
+  /// Copy-on-write snapshot publication: pages cloned across all
+  /// epochs (epoch 0's full build counts all pages) and per-epoch
+  /// publish wall time. publish_us is the number the paged index
+  /// keeps O(|V*|): it must track batch size, not n.
+  std::uint64_t snapshot_pages_cloned = 0;
+  SizeHistogram publish_us{1u << 14};  // per-epoch publish time, µs
   // Exact-bucket sizes bound the per-engine footprint (~0.5 MB) and the
   // stats() copy cost: flushes beyond 65.5 ms land in the overflow
   // bucket, where percentile() degrades to max_seen.
@@ -118,6 +144,10 @@ class StreamingEngine {
     /// Publish a deep graph copy with every epoch snapshot (compact
     /// arena copy; costs one arena fill per flush).
     bool snapshot_graph = false;
+    /// Cores per copy-on-write snapshot page (rounded to a power of
+    /// two in [64, 1M]). Smaller pages clone fewer bytes per changed
+    /// vertex; larger pages shrink the per-epoch directory copy.
+    std::size_t snapshot_page = 4096;
     ParallelOrderMaintainer::Options maintainer{};
   };
 
@@ -183,7 +213,12 @@ class StreamingEngine {
  private:
   void scheduler_loop();
   std::uint64_t flush_locked();  // requires flush_mu_
-  void publish_snapshot();
+  /// Wraps an already-published view into the snapshot for `epoch`
+  /// (requires flush_mu_), adding max core / edge count / the optional
+  /// graph copy. Does NOT swap it in — the caller updates stats first,
+  /// then swaps, so readers never see an epoch whose stats lag it.
+  std::shared_ptr<EngineSnapshot> build_snapshot(std::uint64_t epoch,
+                                                 query::CoreView view);
   void adapt_threshold(double flush_ms, std::size_t raw);
 
   DynamicGraph& graph_;
@@ -200,6 +235,12 @@ class StreamingEngine {
   std::mutex flush_mu_;
   std::atomic<std::size_t> threshold_;
   std::size_t flushes_since_compact_ = 0;  // guarded by flush_mu_
+
+  // Paged COW snapshot publication state; single-writer under
+  // flush_mu_ (the constructor runs before any reader exists).
+  query::VersionedCoreIndex index_;
+  std::vector<VertexId> dirty_;            // per-flush changed-vertex union
+  std::uint64_t published_epoch_ = 0;      // guarded by flush_mu_
 
   // Snapshot publication: writers swap the pointer under snap_mu_,
   // readers copy the shared_ptr under the same spinlock (held for the

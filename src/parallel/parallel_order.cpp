@@ -19,6 +19,9 @@ void ParallelOrderMaintainer::rebuild() {
   state_.initialize(graph_, opts_.state);
   mark_.assign(graph_.num_vertices(), 0);
   epoch_ = 0;
+  changed_mark_.assign(graph_.num_vertices(), 0);
+  changed_epoch_ = 0;
+  last_changed_.clear();
 }
 
 void ParallelOrderMaintainer::lock_endpoints(VertexId a, VertexId b) {
@@ -33,6 +36,9 @@ template <typename Fn>
 BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
                                                int workers, Fn&& op) {
   last_plan_ = PlanStats{};
+  ++changed_epoch_;
+  last_changed_.clear();  // keeps capacity across steady-state batches
+  for (auto& ctx : ctxs_) ctx.changed.clear();
   BatchResult r;
   // The shared counters get a cache line each: `applied` takes one
   // fetch_add per worker, but `next` is the per-edge hot word and must
@@ -56,6 +62,7 @@ BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
       });
       last_plan_ = plan_.stats();
       r.skipped = edges.size() - r.applied;
+      collect_changed();
       return r;
     }
     case ScheduleMode::kStatic: {
@@ -94,7 +101,20 @@ BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
   }
   r.applied = applied.load(std::memory_order_relaxed);
   r.skipped = edges.size() - r.applied;
+  collect_changed();
   return r;
+}
+
+void ParallelOrderMaintainer::collect_changed() {
+  for (auto& ctx : ctxs_) {
+    for (VertexId v : ctx.changed) {
+      if (changed_mark_[v] != changed_epoch_) {
+        changed_mark_[v] = changed_epoch_;
+        last_changed_.push_back(v);
+      }
+    }
+    ctx.changed.clear();
+  }
 }
 
 // ===========================================================================
@@ -264,6 +284,7 @@ void ParallelOrderMaintainer::finalize_insert(WorkerCtx& ctx, CoreValue k,
       state_.core(c).store(k + 1, std::memory_order_release);
       state_.s(c).fetch_add(1, std::memory_order_release);
       anchor = &state_.item(c);
+      ctx.changed.push_back(c);
 
       // mcd: the promoted vertex's own value is stale; neighbours now at
       // the promoted level gain one >=-core neighbour.
@@ -393,6 +414,7 @@ bool ParallelOrderMaintainer::demote_if_unsupported(WorkerCtx& ctx, VertexId x,
   state_.mcd(x).store(kMcdEmpty, std::memory_order_relaxed);
   ctx.vstar.insert(x);
   ctx.rq.push_back(x);
+  ctx.changed.push_back(x);
   // Move x to the tail of O_{k-1} NOW rather than at operation end
   // (paper line 17): with per-demotion appends the global tail order
   // equals the global demotion order, which is what keeps

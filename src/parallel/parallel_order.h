@@ -105,6 +105,15 @@ class ParallelOrderMaintainer {
   /// EngineStats; `parcore_cli serve --plan` prints them per flush.
   const PlanStats& last_plan_stats() const { return last_plan_; }
 
+  /// Vertices whose core number changed during the most recent
+  /// insert/remove batch (deduplicated union across workers; reset at
+  /// every batch start). This is the maintainer's V* localisation
+  /// handed to the publication layer: the engine's paged snapshot
+  /// index clones only the pages these vertices live on
+  /// (query/versioned_cores.h). Valid until the next batch; read at
+  /// quiescence only.
+  std::span<const VertexId> last_changed() const { return last_changed_; }
+
  private:
   // One cache line per worker: the per-edge hot fields (queue heads,
   // counters) of adjacent workers must not false-share.
@@ -116,6 +125,7 @@ class ParallelOrderMaintainer {
     std::deque<VertexId> rq;
     std::vector<VertexId> locked;
     std::vector<VertexId> touched;
+    std::vector<VertexId> changed;  // cores promoted/demoted this batch
     std::size_t vplus_count = 0;
     SizeHistogram vplus_hist;
     SizeHistogram vstar_hist;
@@ -134,6 +144,7 @@ class ParallelOrderMaintainer {
   bool demote_if_unsupported(WorkerCtx& ctx, VertexId x, CoreValue k);
 
   void repair_dout_after_removal(int workers);
+  void collect_changed();
 
   void lock_endpoints(VertexId a, VertexId b);
 
@@ -155,6 +166,14 @@ class ParallelOrderMaintainer {
   std::vector<std::uint32_t> mark_;
   std::vector<VertexId> repair_unique_;
   std::uint32_t epoch_ = 0;
+
+  // Same epoch-marked dedup idiom for the changed-core union behind
+  // last_changed(). Separate mark array: the touched/changed epochs
+  // advance independently (run_batch vs remove_batch) and must not
+  // poison each other's membership tests.
+  std::vector<std::uint32_t> changed_mark_;
+  std::vector<VertexId> last_changed_;
+  std::uint32_t changed_epoch_ = 0;
 };
 
 }  // namespace parcore

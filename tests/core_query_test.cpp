@@ -134,5 +134,69 @@ TEST(CoreQuery, EmptyGraph) {
   EXPECT_TRUE(all_subcores(g, cores).empty());
 }
 
+// ISSUE 5 satellite: summarize_cores({}) used to return
+// histogram = {0}, indistinguishable from a 1-vertex core-0 graph.
+// Empty input now yields the empty summary — no allocation, empty
+// histogram.
+TEST(CoreQuery, SummaryOfEmptyInputHasEmptyHistogram) {
+  CoreSummary empty = summarize_cores(std::vector<CoreValue>{});
+  EXPECT_EQ(empty.max_core, 0);
+  EXPECT_EQ(empty.degeneracy_core_size, 0u);
+  EXPECT_TRUE(empty.histogram.empty());
+
+  // An actual all-core-0 graph stays distinguishable: one histogram
+  // bucket counting every vertex.
+  CoreSummary zeros = summarize_cores(std::vector<CoreValue>{0, 0, 0});
+  EXPECT_EQ(zeros.max_core, 0);
+  EXPECT_EQ(zeros.degeneracy_core_size, 3u);
+  ASSERT_EQ(zeros.histogram.size(), 1u);
+  EXPECT_EQ(zeros.histogram[0], 3u);
+}
+
+// ISSUE 5 satellite: subcore_of / all_subcores indexed cores[] with
+// graph-derived ids without checking cores.size() against
+// g.num_vertices() — an OOB read whenever a snapshot core vector is
+// paired with a newer/older graph. Vertices outside either domain are
+// now out of scope, never an OOB access (ASan guards the regression).
+TEST(CoreQuery, MismatchedCoreVectorAndGraphSizes) {
+  // Graph has 8 vertices; the core vector only knows the first 5
+  // (triangle 0-1-2 at core 2, path 2-3-4 at core 1).
+  auto g = test::make_graph(8, {{0, 1}, {1, 2}, {0, 2},
+                                {2, 3}, {3, 4},
+                                {4, 5}, {5, 6}, {6, 7}});
+  std::vector<CoreValue> cores{2, 2, 2, 1, 1};
+
+  // Known vertices resolve against the intersection of both domains;
+  // vertex 4's walk must not read cores[5].
+  EXPECT_EQ(subcore_of(g, cores, 0), (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(subcore_of(g, cores, 3), (std::vector<VertexId>{3, 4}));
+  // Vertices beyond the core vector are out of scope.
+  EXPECT_TRUE(subcore_of(g, cores, 6).empty());
+  EXPECT_TRUE(subcore_of(g, cores, 99).empty());
+
+  auto subcores = all_subcores(g, cores);
+  std::size_t covered = 0;
+  for (const auto& sc : subcores) {
+    for (VertexId v : sc) {
+      EXPECT_LT(v, cores.size());
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, cores.size());  // exactly the known vertices, once
+
+  // The induced-subgraph port obeys the same bound.
+  DynamicGraph sub = k_core_subgraph(g, cores, 2);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);
+
+  // A core vector LONGER than the graph is clipped to the graph.
+  std::vector<CoreValue> longer(16, 1);
+  auto all = all_subcores(g, longer);
+  std::size_t total = 0;
+  for (const auto& sc : all) total += sc.size();
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_TRUE(subcore_of(g, longer, 12).empty());
+}
+
 }  // namespace
 }  // namespace parcore

@@ -171,12 +171,14 @@ TEST(Engine, ManualFlushMatchesDecomposition) {
   for (const Edge& e : w.batch) eng.submit_insert(e.u, e.v);
   eng.flush_now();
   EXPECT_EQ(eng.epoch(), 1u);
-  test::expect_cores_match(g, eng.snapshot()->cores, "after insert flush");
+  test::expect_cores_match(g, eng.snapshot()->materialize(),
+                           "after insert flush");
 
   for (const Edge& e : w.batch) eng.submit_remove(e.u, e.v);
   eng.flush_now();
   EXPECT_EQ(eng.epoch(), 2u);
-  test::expect_cores_match(g, eng.snapshot()->cores, "after remove flush");
+  test::expect_cores_match(g, eng.snapshot()->materialize(),
+                           "after remove flush");
 }
 
 TEST(Engine, SnapshotKCoreMembership) {
@@ -213,7 +215,8 @@ TEST(Engine, OmCompactionReclaimsGroupsAtQuiescentPoints) {
   EXPECT_EQ(stats.om_compactions, 3u);
   EXPECT_GT(stats.om_groups_reclaimed, 0u);
   EXPECT_GT(stats.memory.total_bytes(), 0u);
-  test::expect_cores_match(g, eng.snapshot()->cores, "after compactions");
+  test::expect_cores_match(g, eng.snapshot()->materialize(),
+                           "after compactions");
 }
 
 TEST(Engine, OmCompactionIntervalZeroDisables) {
@@ -382,9 +385,12 @@ TEST(Engine, MultiProducerStressMatchesDecomposition) {
   auto expect_g = DynamicGraph::from_edges(n, expect_edges);
   Decomposition fresh = bz_decompose(expect_g);
   auto snap = eng.snapshot();
-  ASSERT_EQ(snap->cores.size(), n);
-  for (VertexId v = 0; v < n; ++v)
-    ASSERT_EQ(snap->cores[v], fresh.core[v]) << "vertex " << v;
+  ASSERT_EQ(snap->num_vertices(), n);
+  const std::vector<CoreValue> cores = snap->materialize();
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(cores[v], fresh.core[v]) << "vertex " << v;
+    ASSERT_EQ(snap->view.core(v), fresh.core[v]) << "view vertex " << v;
+  }
 
   // 3. The hot-set stream must have exercised the coalescer, and the
   //    accounting must balance: every submitted op drained + bucketed.
@@ -429,18 +435,18 @@ TEST(Engine, SnapshotConsistencyUnderConcurrentFlushes) {
   std::thread reader([&] {
     std::uint64_t last_epoch = 0;
     std::shared_ptr<const engine::EngineSnapshot> held = eng.snapshot();
-    const std::vector<CoreValue> held_copy = held->cores;
+    const std::vector<CoreValue> held_copy = held->materialize();
     while (!done.load(std::memory_order_relaxed)) {
       auto snap = eng.snapshot();
-      if (snap->epoch < last_epoch || snap->cores.size() != n) {
+      if (snap->epoch < last_epoch || snap->num_vertices() != n) {
         failed.store(true);
         return;
       }
       last_epoch = snap->epoch;
     }
     // A held snapshot is immutable: later flushes must never have
-    // touched it.
-    if (held->cores != held_copy) failed.store(true);
+    // touched its (page-shared) view.
+    if (held->materialize() != held_copy) failed.store(true);
   });
 
   Rng prng(31);
@@ -460,7 +466,53 @@ TEST(Engine, SnapshotConsistencyUnderConcurrentFlushes) {
   EXPECT_FALSE(failed.load());
 
   // Final snapshot agrees with a fresh decomposition of the end state.
-  test::expect_cores_match(g, eng.snapshot()->cores, "final snapshot");
+  test::expect_cores_match(g, eng.snapshot()->materialize(), "final snapshot");
+}
+
+// ISSUE 5 satellite: publish_snapshot used to run BEFORE the stats
+// update, so a reader could observe snapshot epoch e paired with stats
+// from epoch e-1. The flush now stamps EngineStats with the epoch it
+// describes and swaps the snapshot in last; a reader that grabs
+// snapshot() then stats() must always see stats.epochs >= snap->epoch.
+TEST(Engine, StatsNeverLagTheSnapshotTheyDescribe) {
+  Rng rng(21);
+  const std::size_t n = 600;
+  auto candidates = gen_erdos_renyi(n, 2400, rng);
+  canonicalize_edges(candidates);
+  auto g = DynamicGraph::from_edges(
+      n, std::span<const Edge>(candidates.data(), candidates.size() / 2));
+  ThreadTeam team(4);
+  StreamingEngine::Options opts;
+  opts.flush_threshold = 256;
+  opts.flush_interval_ms = 0.2;
+  opts.workers = 2;
+  StreamingEngine eng(g, team, opts);
+  eng.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto snap = eng.snapshot();            // observe epoch first...
+        const engine::EngineStats st = eng.stats();  // ...then its stats
+        if (st.epochs < snap->epoch) {
+          torn.store(true);
+          return;
+        }
+      }
+    });
+  }
+
+  Rng prng(77);
+  auto stream = gen_update_stream(candidates, 40000, 0.5, 0.6, prng);
+  for (const GraphUpdate& u : stream) eng.submit(u);
+  eng.stop();
+  done.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_GE(eng.stats().epochs, eng.snapshot()->epoch);
 }
 
 TEST(Engine, AdaptiveThresholdMovesTowardTarget) {

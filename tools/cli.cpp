@@ -1,6 +1,7 @@
 #include "cli.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -553,19 +554,26 @@ is checked against a fresh bz_decompose unless --no-verify.
 
   --input FILE    temporal update stream (docs/FORMATS.md)
   --producers N   concurrent producer threads (default 4)
+  --readers N     concurrent query threads hammering epoch snapshots
+                  (point reads + periodic core summaries) while the
+                  producers run (default 0)
   --workers W     maintainer workers per flush (default: engine default)
   --plan          conflict-aware wave scheduling per flush; prints the
                   per-flush plan stats (buckets, waves, steals)
   --repeat R      replay the stream R times (default 1; load amplifier)
   --no-verify     skip the final bz_decompose comparison
 
-Engine flush policy comes from PARCORE_ENGINE_* (docs/CONFIG.md).
+Engine flush policy comes from PARCORE_ENGINE_* (docs/CONFIG.md);
+PARCORE_ENGINE_SNAPSHOT_PAGE sizes the copy-on-write snapshot pages.
 )";
 
 int cmd_serve(const Args& args) {
   const std::string input = args.get("input");
   if (input.empty()) return usage_error(kServeUsage, "--input is required");
   const int producers = static_cast<int>(args.get_positive("producers", 4));
+  const long readers = args.has("readers")
+                           ? args.get_positive("readers", 1)
+                           : 0;
   const long repeat = args.get_positive("repeat", 1);
 
   WallTimer load_timer;
@@ -597,6 +605,34 @@ int cmd_serve(const Args& args) {
       partition_updates_by_edge(ops, static_cast<std::size_t>(producers));
 
   WallTimer timer;
+  // Reader threads run the full query surface against live epoch
+  // snapshots: wait-free point reads off the paged CoreView, plus a
+  // periodic core summary (histogram scan) — they never block a flush.
+  std::atomic<bool> stop_readers{false};
+  std::atomic<std::uint64_t> point_reads{0};
+  std::atomic<std::uint64_t> summaries{0};
+  std::vector<std::thread> reader_threads;
+  for (long r = 0; r < readers; ++r)
+    reader_threads.emplace_back([&eng, &stop_readers, &point_reads,
+                                 &summaries, r] {
+      Rng rng(0x5eed + static_cast<std::uint64_t>(r));
+      std::uint64_t reads = 0, sums = 0;
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        auto snap = eng.snapshot();
+        const std::size_t n = snap->num_vertices();
+        if (n == 0) continue;
+        for (int i = 0; i < 1024; ++i) {
+          volatile CoreValue c =
+              snap->core(static_cast<VertexId>(rng.bounded(n)));
+          (void)c;
+        }
+        reads += 1024;
+        if (++sums % 64 == 0) (void)summarize_cores(snap->view);
+      }
+      point_reads.fetch_add(reads, std::memory_order_relaxed);
+      summaries.fetch_add(sums / 64, std::memory_order_relaxed);
+    });
+
   std::vector<std::thread> threads;
   threads.reserve(streams.size());
   for (const auto& s : streams)
@@ -605,6 +641,8 @@ int cmd_serve(const Args& args) {
     });
   for (auto& t : threads) t.join();
   eng.stop();
+  stop_readers.store(true);
+  for (auto& t : reader_threads) t.join();
   const double sec = timer.elapsed_ms() / 1000.0;
 
   const engine::EngineStats stats = eng.stats();
@@ -626,6 +664,21 @@ int cmd_serve(const Args& args) {
       static_cast<double>(stats.flush_us.percentile(0.5)) / 1000.0,
       static_cast<double>(stats.flush_us.percentile(0.99)) / 1000.0,
       static_cast<unsigned long long>(snap->epoch), snap->max_core);
+  std::printf(
+      "  snapshot publish p50 %.0f us, p99 %.0f us; %llu pages cloned "
+      "(page %zu cores)\n",
+      static_cast<double>(stats.publish_us.percentile(0.5)),
+      static_cast<double>(stats.publish_us.percentile(0.99)),
+      static_cast<unsigned long long>(stats.snapshot_pages_cloned),
+      snap->view.page_size());
+  if (readers > 0)
+    std::printf(
+        "  readers: %ld threads, %llu point reads (%.0f k/s), "
+        "%llu summaries\n",
+        readers, static_cast<unsigned long long>(point_reads.load()),
+        sec > 0 ? static_cast<double>(point_reads.load()) / sec / 1000.0
+                : 0.0,
+        static_cast<unsigned long long>(summaries.load()));
   std::printf(
       "  adjacency arena %.1f MB (slack %.1f%%, %.0f%% inline); "
       "om compactions %llu reclaimed %llu groups\n",
@@ -661,7 +714,7 @@ int cmd_serve(const Args& args) {
         stream.num_vertices, io::replay_final_edges(replay));
     const Decomposition expect = bz_decompose(fresh);
     if (fresh.num_edges() != g.num_edges() ||
-        !cores_match(snap->cores, expect.core)) {
+        !cores_match(snap->materialize(), expect.core)) {
       std::fprintf(stderr, "FAILED: served cores diverge from bz_decompose "
                            "of the replayed final graph\n");
       return 1;
@@ -799,8 +852,8 @@ int cli_main(const std::vector<std::string>& args) {
        {"input", "algo", "window", "batch", "workers", "steps"},
        {"verify", "plan"}, cmd_maintain},
       {"serve", kServeUsage,
-       {"input", "producers", "workers", "repeat"}, {"no-verify", "plan"},
-       cmd_serve},
+       {"input", "producers", "readers", "workers", "repeat"},
+       {"no-verify", "plan"}, cmd_serve},
       {"bench", kBenchUsage, {"input", "name", "ops"}, {"plan"}, cmd_bench},
       {"stats", kStatsUsage, {"input"}, {}, cmd_stats},
   };

@@ -26,6 +26,10 @@ ROW_FIELDS = {
         "plan_buckets", "plan_waves", "plan_overflow_edges", "plan_steals",
     ],
     "storage": [],  # storage rows are heterogeneous; envelope-only check
+    "query_serving": [
+        "mode", "batch", "epochs", "publish_us_mean", "publish_us_p50",
+        "publish_us_p99", "pages_cloned", "read_mqps",
+    ],
 }
 
 STRING_FIELDS = {"policy", "workload", "mode"}
