@@ -340,7 +340,19 @@ Json engine_cell_json(const std::string& policy, int producers, int workers,
       .set("noops", std::uint64_t{r.stats.coalesce.noops})
       .set("plan_batches", r.stats.plan.batches)
       .set("plan_waves", r.stats.plan.waves)
-      .set("plan_steals", r.stats.plan.steals);
+      .set("plan_steals", r.stats.plan.steals)
+      // Per-phase pipeline decomposition (EngineStats::PhaseTotals,
+      // microseconds summed over every flush of the cell). The six
+      // phases partition each flush window, so their sum tracks the
+      // cell's total flush time.
+      .set("drain_us", r.stats.phases.drain_us)
+      .set("coalesce_us", r.stats.phases.coalesce_us)
+      .set("plan_us", r.stats.phases.plan_us)
+      .set("apply_us", r.stats.phases.apply_us)
+      .set("om_compact_us", r.stats.phases.om_compact_us)
+      .set("publish_us", r.stats.phases.publish_us)
+      .set("worker_busy_us", r.stats.phases.worker_busy_us)
+      .set("worker_idle_us", r.stats.phases.worker_idle_us);
 }
 
 Table::Table(std::vector<std::string> headers) {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "decomp/core_query.h"
+#include "obs/export.h"
 #include "support/env.h"
 #include "support/timer.h"
 
@@ -22,17 +24,40 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
       maintainer_(g, team, opts.maintainer),
       queue_(opts.shards),
       threshold_(std::max<std::size_t>(1, opts.flush_threshold)),
-      index_(query::VersionedCoreIndex::Options{opts.snapshot_page}) {
+      index_(query::VersionedCoreIndex::Options{opts.snapshot_page}),
+      trace_(opts.trace_capacity) {
+  // Register into the global metrics registry once; the cached handles
+  // make every later record a lock-free sharded add (obs/metrics.h).
+  obs::MetricsRegistry& reg = obs::registry();
+  obs_.submitted = &reg.counter("parcore_updates_submitted_total");
+  obs_.flushes = &reg.counter("parcore_flushes_total");
+  obs_.inserts_applied = &reg.counter("parcore_inserts_applied_total");
+  obs_.removes_applied = &reg.counter("parcore_removes_applied_total");
+  obs_.pages_cloned = &reg.counter("parcore_snapshot_pages_cloned_total");
+  obs_.om_reclaimed = &reg.counter("parcore_om_groups_reclaimed_total");
+  obs_.worker_busy_us = &reg.counter("parcore_worker_busy_us_total");
+  obs_.worker_idle_us = &reg.counter("parcore_worker_idle_us_total");
+  obs_.steal_chunks = &reg.counter("parcore_steal_chunks_total");
+  obs_.epoch = &reg.gauge("parcore_epoch");
+  obs_.threshold = &reg.gauge("parcore_flush_threshold");
+  obs_.flush_us = &reg.histogram("parcore_flush_us");
+  obs_.batch_size = &reg.histogram("parcore_flush_batch_size");
+  obs_.publish_us = &reg.histogram("parcore_publish_us");
+
   // Epoch 0: the initial decomposition, the index's one full O(n)
   // build. Every later epoch is a COW delta on top of it.
   query::CoreView view = index_.rebuild(
       graph_.num_vertices(), [this](VertexId v) { return maintainer_.core(v); });
   stats_.snapshot_pages_cloned += index_.last_pages_cloned();
+  obs_.pages_cloned->add(index_.last_pages_cloned());
   auto snap = build_snapshot(0, std::move(view));
   snap_mu_.lock();
   snap_ = std::move(snap);
   snap_mu_.unlock();
   stats_.memory = graph_.memory_stats();
+  stats_.memory_epoch = 0;
+  obs_.threshold->set(static_cast<std::int64_t>(
+      threshold_.load(std::memory_order_relaxed)));
 }
 
 StreamingEngine::~StreamingEngine() { stop(); }
@@ -40,14 +65,19 @@ StreamingEngine::~StreamingEngine() { stop(); }
 void StreamingEngine::start() {
   if (running_) return;
   notifier_.reset();  // clear a previous stop(): start/stop can cycle
+  reporter_notifier_.reset();
   running_ = true;
   scheduler_ = std::thread([this] { scheduler_loop(); });
+  if (opts_.report_interval_ms > 0.0)
+    reporter_ = std::thread([this] { reporter_loop(); });
 }
 
 void StreamingEngine::stop() {
   if (running_) {
     notifier_.request_stop();
+    reporter_notifier_.request_stop();
     scheduler_.join();
+    if (reporter_.joinable()) reporter_.join();
     running_ = false;
   }
   // Final drain on the caller's thread: catches updates submitted after
@@ -62,12 +92,18 @@ void StreamingEngine::stop() {
     const GraphMemoryStats mem = graph_.memory_stats();
     std::lock_guard<std::mutex> lk2(stats_mu_);
     stats_.memory = mem;
+    stats_.memory_epoch = stats_.epochs;
   }
 }
 
 void StreamingEngine::submit(const GraphUpdate& u) {
   const std::size_t prev = queue_.push(u);
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  // No obs record here: submit is the producer hot path and even a
+  // sharded relaxed inc costs measurable throughput (the <=2% CI
+  // overhead gate caught it). The submitted counter is fed from the
+  // drained count once per flush instead, so the exported total lags
+  // the true one by at most the buffered backlog.
   // Wake the scheduler only on the threshold CROSSING, not on every
   // push above it — otherwise all producers serialise on the notifier
   // mutex for the whole duration of a flush. Backlog that accumulates
@@ -91,16 +127,37 @@ void StreamingEngine::scheduler_loop() {
   }
 }
 
+void StreamingEngine::reporter_loop() {
+  const auto interval =
+      std::chrono::duration<double, std::milli>(opts_.report_interval_ms);
+  for (;;) {
+    reporter_notifier_.wait_for(interval);
+    if (reporter_notifier_.stop_requested()) return;
+    const std::string summary = obs::human_summary(obs::registry());
+    // One write, unbuffered target: interleaves sanely with other
+    // stderr traffic and costs nothing when the registry is empty.
+    if (!summary.empty())
+      std::fprintf(stderr, "[parcore obs] epoch=%llu\n%s",
+                   static_cast<unsigned long long>(epoch()), summary.c_str());
+  }
+}
+
 std::uint64_t StreamingEngine::flush_now() {
   std::lock_guard<std::mutex> lk(flush_mu_);
   return flush_locked();
 }
 
 std::uint64_t StreamingEngine::flush_locked() {
+  // One cumulative clock segments the flush into the six trace phases:
+  // consecutive elapsed_us() marks partition the window exactly, so the
+  // span's phases sum to its flush_us up to integer rounding
+  // (obs/trace.h FlushSpan).
   WallTimer timer;
+  obs::FlushSpan span;
 
   std::vector<GraphUpdate> raw;
   queue_.drain(raw);
+  const std::uint64_t t_drain = timer.elapsed_us();
 
   // Plan mode: have the coalescer emit pre-bucketed batches (sorted by
   // the planner's locality key) so planning cost is amortised into the
@@ -109,6 +166,8 @@ std::uint64_t StreamingEngine::flush_locked() {
       opts_.maintainer.schedule == ScheduleMode::kPlan;
   CoalescedBatch batch =
       coalesce(raw, graph_, planned ? &maintainer_.state() : nullptr);
+  const std::uint64_t t_coalesce = timer.elapsed_us();
+
   BatchResult ins, rem;
   EngineStats::PlanAggregate plan_delta;
   auto absorb_plan = [&] {
@@ -120,6 +179,20 @@ std::uint64_t StreamingEngine::flush_locked() {
     plan_delta.overflow_edges += p.overflow_edges;
     plan_delta.presorted += p.presorted ? 1 : 0;
     plan_delta.steals += p.steals;
+  };
+  // Worker attribution, accumulated across the (up to two) maintainer
+  // calls of this flush: busy straight from the workers' own clocks,
+  // idle as the dispatch wall each worker sat through minus its busy
+  // share (clamped: the two clock sets can disagree by microseconds).
+  auto absorb_timing = [&] {
+    const ParallelOrderMaintainer::BatchTiming& t = maintainer_.last_timing();
+    span.plan_us += t.plan_us;
+    span.worker_busy_us += t.busy_us;
+    const std::uint64_t wall =
+        static_cast<std::uint64_t>(t.workers) * t.dispatch_us;
+    span.worker_idle_us += wall > t.busy_us ? wall - t.busy_us : 0;
+    span.workers = std::max(span.workers, static_cast<std::uint32_t>(
+                                              std::max(t.workers, 0)));
   };
   // Disjoint by construction, so the two sequential maintainer calls
   // are exactly the paper's non-overlapping batch protocol. Removes run
@@ -136,13 +209,16 @@ std::uint64_t StreamingEngine::flush_locked() {
   if (!batch.removes.empty()) {
     rem = maintainer_.remove_batch(batch.removes, opts_.workers);
     absorb_plan();
+    absorb_timing();
     absorb_changed();
   }
   if (!batch.inserts.empty()) {
     ins = maintainer_.insert_batch(batch.inserts, opts_.workers);
     absorb_plan();
+    absorb_timing();
     absorb_changed();
   }
+  const std::uint64_t t_apply = timer.elapsed_us();
 
   // Quiescent point: the batch is fully applied and no worker holds OM
   // pointers, so quarantined order-list groups can be reclaimed.
@@ -154,6 +230,12 @@ std::uint64_t StreamingEngine::flush_locked() {
     om_reclaimed = maintainer_.state().levels().compact_all();
     om_compacted = true;
   }
+  // The memory sample is an O(n) vertex scan: take it only on the
+  // compaction cadence (same quiescence) so it bills to the om-compact
+  // phase, and before stats_mu_ so readers never block on the scan.
+  GraphMemoryStats mem_sample;
+  if (om_compacted) mem_sample = graph_.memory_stats();
+  const std::uint64_t t_compact = timer.elapsed_us();
 
   const std::uint64_t epoch = ++published_epoch_;
   // Time the COW publish alone: publish_us is the O(|V*| + dirty pages)
@@ -164,14 +246,28 @@ std::uint64_t StreamingEngine::flush_locked() {
       dirty_, [this](VertexId v) { return maintainer_.core(v); });
   const double publish_ms = publish_timer.elapsed_ms();
   auto snap = build_snapshot(epoch, std::move(view));
-
-  // The memory sample is an O(n) vertex scan: take it only on the
-  // compaction cadence, and before stats_mu_ so readers never block on
-  // the scan.
-  GraphMemoryStats mem_sample;
-  if (om_compacted) mem_sample = graph_.memory_stats();
+  const std::uint64_t t_publish = timer.elapsed_us();
 
   const double flush_ms = timer.elapsed_ms();
+
+  // Finalise the span: phases are consecutive deltas of the one clock,
+  // except plan/apply — the maintainer reports its own plan-build cost,
+  // carved out of the batch window it ran in.
+  span.epoch = epoch;
+  span.raw = raw.size();
+  span.inserts = batch.inserts.size();
+  span.removes = batch.removes.size();
+  span.pages_cloned = index_.last_pages_cloned();
+  span.drain_us = t_drain;
+  span.coalesce_us = t_coalesce - t_drain;
+  const std::uint64_t batch_window = t_apply - t_coalesce;
+  span.apply_us =
+      batch_window > span.plan_us ? batch_window - span.plan_us : 0;
+  span.om_compact_us = t_compact - t_apply;
+  span.publish_us = t_publish - t_compact;
+  span.flush_us = static_cast<std::uint64_t>(flush_ms * 1000.0);
+  span.steal_chunks = plan_delta.steals;
+
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     stats_.epochs = epoch;
@@ -182,6 +278,7 @@ std::uint64_t StreamingEngine::flush_locked() {
       ++stats_.om_compactions;
       stats_.om_groups_reclaimed += om_reclaimed;
       stats_.memory = mem_sample;
+      stats_.memory_epoch = epoch;
     }
     stats_.coalesce += batch.stats;
     stats_.plan.batches += plan_delta.batches;
@@ -190,6 +287,14 @@ std::uint64_t StreamingEngine::flush_locked() {
     stats_.plan.overflow_edges += plan_delta.overflow_edges;
     stats_.plan.presorted += plan_delta.presorted;
     stats_.plan.steals += plan_delta.steals;
+    stats_.phases.drain_us += span.drain_us;
+    stats_.phases.coalesce_us += span.coalesce_us;
+    stats_.phases.plan_us += span.plan_us;
+    stats_.phases.apply_us += span.apply_us;
+    stats_.phases.om_compact_us += span.om_compact_us;
+    stats_.phases.publish_us += span.publish_us;
+    stats_.phases.worker_busy_us += span.worker_busy_us;
+    stats_.phases.worker_idle_us += span.worker_idle_us;
     stats_.snapshot_pages_cloned += index_.last_pages_cloned();
     stats_.publish_us.record(static_cast<std::size_t>(publish_ms * 1000.0));
     stats_.flush_us.record(static_cast<std::size_t>(flush_ms * 1000.0));
@@ -202,6 +307,26 @@ std::uint64_t StreamingEngine::flush_locked() {
   snap_ = std::move(snap);
   snap_mu_.unlock();
   if (opts_.adaptive) adapt_threshold(flush_ms, raw.size());
+
+  // Observability last, off the reader-visible locks: the span ring,
+  // the optional JSONL sink, and the global registry.
+  trace_.record(span);
+  if (opts_.span_sink) opts_.span_sink(span);
+  obs_.flushes->inc();
+  obs_.submitted->add(span.raw);  // per-flush, not per-submit (hot path)
+  obs_.inserts_applied->add(ins.applied);
+  obs_.removes_applied->add(rem.applied);
+  obs_.pages_cloned->add(span.pages_cloned);
+  obs_.om_reclaimed->add(om_reclaimed);
+  obs_.worker_busy_us->add(span.worker_busy_us);
+  obs_.worker_idle_us->add(span.worker_idle_us);
+  obs_.steal_chunks->add(span.steal_chunks);
+  obs_.epoch->set(static_cast<std::int64_t>(epoch));
+  obs_.threshold->set(static_cast<std::int64_t>(
+      threshold_.load(std::memory_order_relaxed)));
+  obs_.flush_us->record(span.flush_us);
+  obs_.batch_size->record(span.raw);
+  obs_.publish_us->record(static_cast<std::uint64_t>(publish_ms * 1000.0));
   return epoch;
 }
 
@@ -242,6 +367,28 @@ std::shared_ptr<const EngineSnapshot> StreamingEngine::snapshot() const {
 }
 
 EngineStats StreamingEngine::stats() const {
+  // Lazy memory refresh (staleness rule documented at
+  // EngineStats::memory): only when the sample is older than the
+  // configured epoch budget AND the flush lock is free — a running
+  // flush is never blocked, and the O(n) scan runs outside stats_mu_ so
+  // concurrent readers are never blocked either.
+  if (opts_.memory_refresh_epochs > 0) {
+    std::unique_lock<std::mutex> fl(flush_mu_, std::try_to_lock);
+    if (fl.owns_lock()) {
+      bool stale = false;
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        stale = stats_.epochs - stats_.memory_epoch >=
+                opts_.memory_refresh_epochs;
+      }
+      if (stale) {
+        const GraphMemoryStats mem = graph_.memory_stats();
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        stats_.memory = mem;
+        stats_.memory_epoch = stats_.epochs;
+      }
+    }
+  }
   std::lock_guard<std::mutex> lk(stats_mu_);
   EngineStats s = stats_;
   s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -271,6 +418,16 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
               static_cast<long>(base.om_compact_interval)));
   if (std::getenv("PARCORE_ENGINE_SNAPSHOT_GRAPH") != nullptr)
     base.snapshot_graph = env_flag("PARCORE_ENGINE_SNAPSHOT_GRAPH");
+  base.memory_refresh_epochs = static_cast<std::size_t>(std::max(
+      env_int("PARCORE_ENGINE_MEMORY_REFRESH",
+              static_cast<long>(base.memory_refresh_epochs)),
+      0L));
+  base.trace_capacity = static_cast<std::size_t>(std::clamp(
+      env_int("PARCORE_OBS_TRACE_CAP",
+              static_cast<long>(base.trace_capacity)),
+      1L, 1L << 20));
+  base.report_interval_ms = std::max(
+      env_double("PARCORE_OBS_REPORT_MS", base.report_interval_ms), 0.0);
   // The index clamps to [64, 1M] and rounds up to a power of two.
   base.snapshot_page = static_cast<std::size_t>(std::max(
       env_int("PARCORE_ENGINE_SNAPSHOT_PAGE",

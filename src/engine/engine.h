@@ -31,9 +31,13 @@
 #include <thread>
 #include <vector>
 
+#include <functional>
+
 #include "engine/coalesce.h"
 #include "engine/ingest.h"
 #include "graph/dynamic_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_order.h"
 #include "query/versioned_cores.h"
 #include "support/histogram.h"
@@ -106,10 +110,32 @@ struct EngineStats {
     std::uint64_t steals = 0;          // chunks run by a non-owner
   };
   PlanAggregate plan;
+  /// Per-phase wall time summed over every flush, microseconds. The six
+  /// phases partition each flush window (obs/trace.h FlushSpan), so
+  /// their sums track `flush_us`'s total up to per-flush rounding.
+  struct PhaseTotals {
+    std::uint64_t drain_us = 0;
+    std::uint64_t coalesce_us = 0;
+    std::uint64_t plan_us = 0;
+    std::uint64_t apply_us = 0;
+    std::uint64_t om_compact_us = 0;
+    std::uint64_t publish_us = 0;
+    /// Worker attribution of the apply dispatches (trace.h semantics).
+    std::uint64_t worker_busy_us = 0;
+    std::uint64_t worker_idle_us = 0;
+  };
+  PhaseTotals phases;
   /// Adjacency-storage footprint. The sample is an O(n) scan, so it is
-  /// refreshed only at OM compactions and at stop() — not every flush;
-  /// between those points it may lag the live graph.
+  /// NOT refreshed on every flush. Staleness rule: the sample is retaken
+  /// (a) at every OM compaction, (b) at stop(), and (c) lazily by
+  /// stats() itself whenever the sample is older than
+  /// Options::memory_refresh_epochs epochs AND no flush is running
+  /// (stats() try-locks the flush mutex; it never blocks a flush or
+  /// another reader to refresh). `memory_epoch` records the epoch the
+  /// sample was taken at, so readers can judge residual staleness —
+  /// bounded by max(memory_refresh_epochs, epochs between stats calls).
   GraphMemoryStats memory;
+  std::uint64_t memory_epoch = 0;
   CoalesceStats coalesce;
   /// Copy-on-write snapshot publication: pages cloned across all
   /// epochs (epoch 0's full build counts all pages) and per-epoch
@@ -148,6 +174,20 @@ class StreamingEngine {
     /// two in [64, 1M]). Smaller pages clone fewer bytes per changed
     /// vertex; larger pages shrink the per-epoch directory copy.
     std::size_t snapshot_page = 4096;
+    /// Refresh the O(n) memory sample from stats() when it is older
+    /// than this many epochs (and no flush is running). 0 disables the
+    /// lazy refresh; compaction/stop() refreshes still happen.
+    std::size_t memory_refresh_epochs = 16;
+    /// Flush spans retained by trace() (obs/trace.h ring).
+    std::size_t trace_capacity = 1024;
+    /// Invoked under the flush lock with each completed flush's span —
+    /// the --trace-out JSONL sink. Keep it cheap; it runs on the
+    /// scheduler thread inside the flush window.
+    std::function<void(const obs::FlushSpan&)> span_sink;
+    /// > 0 spawns a reporter thread alongside the scheduler that writes
+    /// the metrics summary (obs::human_summary of the global registry)
+    /// to stderr every interval. 0 disables it.
+    double report_interval_ms = 0.0;
     ParallelOrderMaintainer::Options maintainer{};
   };
 
@@ -201,6 +241,10 @@ class StreamingEngine {
 
   EngineStats stats() const;
 
+  /// Ring of the most recent flush spans (per-phase timings, worker
+  /// attribution); see obs/trace.h. Always recorded, obs gate or not.
+  const obs::FlushTrace& trace() const { return trace_; }
+
   /// Current adaptive threshold (== Options::flush_threshold when the
   /// adaptive policy is off).
   std::size_t current_flush_threshold() const {
@@ -212,6 +256,7 @@ class StreamingEngine {
 
  private:
   void scheduler_loop();
+  void reporter_loop();
   std::uint64_t flush_locked();  // requires flush_mu_
   /// Wraps an already-published view into the snapshot for `epoch`
   /// (requires flush_mu_), adding max core / edge count / the optional
@@ -228,11 +273,14 @@ class StreamingEngine {
   Notifier notifier_;
 
   std::thread scheduler_;
+  std::thread reporter_;
+  Notifier reporter_notifier_;
   bool running_ = false;
 
   // Serialises flushes (scheduler vs flush_now) — the maintainer runs
-  // one batch at a time by contract.
-  std::mutex flush_mu_;
+  // one batch at a time by contract. Mutable: stats() try-locks it for
+  // the lazy memory refresh (never blocks; see EngineStats::memory).
+  mutable std::mutex flush_mu_;
   std::atomic<std::size_t> threshold_;
   std::size_t flushes_since_compact_ = 0;  // guarded by flush_mu_
 
@@ -251,8 +299,30 @@ class StreamingEngine {
   // Stats: counters written only by the flushing thread under
   // flush_mu_, read under stats_mu_ by stats().
   mutable std::mutex stats_mu_;
-  EngineStats stats_;
+  mutable EngineStats stats_;  // stats() refreshes `memory` lazily
   std::atomic<std::uint64_t> submitted_{0};
+
+  // Observability: the per-flush span ring plus cached handles into the
+  // process-global metrics registry (registered once at construction;
+  // recording through them is lock-free and gated on obs::enabled()).
+  obs::FlushTrace trace_;
+  struct ObsHandles {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* flushes = nullptr;
+    obs::Counter* inserts_applied = nullptr;
+    obs::Counter* removes_applied = nullptr;
+    obs::Counter* pages_cloned = nullptr;
+    obs::Counter* om_reclaimed = nullptr;
+    obs::Counter* worker_busy_us = nullptr;
+    obs::Counter* worker_idle_us = nullptr;
+    obs::Counter* steal_chunks = nullptr;
+    obs::Gauge* epoch = nullptr;
+    obs::Gauge* threshold = nullptr;
+    obs::Histogram* flush_us = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* publish_us = nullptr;
+  };
+  ObsHandles obs_;
 };
 
 /// `base` with every flush-policy knob overridable from the environment

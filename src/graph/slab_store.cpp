@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.h"
+
 namespace parcore {
+
+namespace {
+
+// Process-wide arena gauges (docs/OBSERVABILITY.md): reservations are
+// monotonic per store but stores come and go, so the gauges track the
+// deltas of every live SlabStore combined. Registered on first use.
+obs::Gauge& arena_reserved_gauge() {
+  static obs::Gauge* g = &obs::registry().gauge("parcore_arena_reserved_bytes");
+  return *g;
+}
+obs::Gauge& arena_chunks_gauge() {
+  static obs::Gauge* g = &obs::registry().gauge("parcore_arena_chunks");
+  return *g;
+}
+
+}  // namespace
 
 SlabStore::SlabStore() : SlabStore(Options()) {}
 
@@ -18,6 +36,18 @@ SlabStore::SlabStore(Options opts) : opts_(opts) {
     ++max_chunk_class_;
   num_shards_ = opts_.shards;
   shards_ = std::make_unique<Shard[]>(num_shards_);
+}
+
+SlabStore::~SlabStore() {
+  if (shards_ == nullptr) return;  // moved-from
+  std::int64_t reserved = 0, chunks = 0;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    reserved += static_cast<std::int64_t>(shards_[i].reserved_bytes);
+    chunks += static_cast<std::int64_t>(shards_[i].chunk_count +
+                                        shards_[i].jumbo_count);
+  }
+  if (reserved != 0) arena_reserved_gauge().add(-reserved);
+  if (chunks != 0) arena_chunks_gauge().add(-chunks);
 }
 
 std::size_t SlabStore::size_class(std::size_t min_entries) {
@@ -38,6 +68,7 @@ VertexId* SlabStore::allocate(std::size_t cls, std::size_t shard_hint) {
     return reinterpret_cast<VertexId*>(node);
   }
   std::byte* out;
+  std::int64_t grew_bytes = 0;  // gauge deltas, applied after unlock
   if (cls <= max_chunk_class_) {
     if (s.bump_left < bytes) {
       // The chunk remainder is abandoned (counted as reserved slack).
@@ -54,6 +85,7 @@ VertexId* SlabStore::allocate(std::size_t cls, std::size_t shard_hint) {
       s.blocks.push_back(std::move(chunk));
       s.reserved_bytes += size;
       ++s.chunk_count;
+      grew_bytes = static_cast<std::int64_t>(size);
     }
     out = s.bump;
     s.bump += bytes;
@@ -64,8 +96,13 @@ VertexId* SlabStore::allocate(std::size_t cls, std::size_t shard_hint) {
     s.blocks.push_back(std::move(jumbo));
     s.reserved_bytes += bytes;
     ++s.jumbo_count;
+    grew_bytes = static_cast<std::int64_t>(bytes);
   }
   s.lock.unlock();
+  if (grew_bytes != 0) {
+    arena_reserved_gauge().add(grew_bytes);
+    arena_chunks_gauge().add(1);
+  }
   return reinterpret_cast<VertexId*>(out);
 }
 

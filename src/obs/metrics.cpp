@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace parcore::obs {
+
+namespace {
+
+bool env_says_off() {
+  const char* v = std::getenv("PARCORE_OBS");
+  if (v == nullptr || *v == '\0') return false;  // default: on
+  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+         std::strcmp(v, "false") == 0 || std::strcmp(v, "OFF") == 0;
+}
+
+// -1 = uninitialised, 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+
+}  // namespace
+
+bool enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = env_says_off() ? 0 : 1;
+    // A racing first call computes the same value; last store wins.
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+std::uint64_t Histogram::Snapshot::quantile_upper(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (target == 0) target = 1;
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    acc += counts[b];
+    if (acc >= target) return bucket_upper(b);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.get_or_create(name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return gauges_.get_or_create(name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return histograms_.get_or_create(name);
+}
+
+void MetricsRegistry::collect(std::vector<CounterRow>& counters,
+                              std::vector<GaugeRow>& gauges,
+                              std::vector<HistogramRow>& histograms) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters.clear();
+  gauges.clear();
+  histograms.clear();
+  counters.reserve(counters_.entries.size());
+  for (const auto& [name, m] : counters_.entries)
+    counters.push_back({name, m->value()});
+  gauges.reserve(gauges_.entries.size());
+  for (const auto& [name, m] : gauges_.entries)
+    gauges.push_back({name, m->value()});
+  histograms.reserve(histograms_.entries.size());
+  for (const auto& [name, m] : histograms_.entries)
+    histograms.push_back({name, m->snapshot()});
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* global = new MetricsRegistry();  // never destroyed:
+  // library layers record from arbitrary threads during static teardown
+  return *global;
+}
+
+}  // namespace parcore::obs

@@ -1,0 +1,95 @@
+// Structured per-flush spans: one record per engine flush with the
+// nested phase timings (drain / coalesce / plan / apply / om-compact /
+// publish), batch composition, COW publish cost and worker busy/steal/
+// idle attribution. The engine keeps the most recent spans in a fixed
+// ring (`FlushTrace`) and can additionally stream every span as a JSON
+// line (`--trace-out`; schema in docs/OBSERVABILITY.md).
+//
+// The ring is deliberately simple: one spinlock held for a struct copy,
+// written once per flush (ms-scale cadence) and drained by readers via
+// snapshot(). It is NOT gated on obs::enabled() — capacity bounds the
+// footprint and the copy is nanoseconds next to a flush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sync/spinlock.h"
+
+namespace parcore::obs {
+
+struct FlushSpan {
+  std::uint64_t epoch = 0;
+
+  // Batch composition.
+  std::uint64_t raw = 0;       // updates drained from the ingest buffer
+  std::uint64_t inserts = 0;   // coalesced insert batch size
+  std::uint64_t removes = 0;   // coalesced remove batch size
+  std::uint64_t pages_cloned = 0;  // COW pages cloned by the publish
+
+  // Phase wall times, microseconds. The six phases partition the flush
+  // window: they sum to flush_us up to integer rounding (the acceptance
+  // bound is 10%; see docs/OBSERVABILITY.md "trace schema").
+  std::uint64_t drain_us = 0;
+  std::uint64_t coalesce_us = 0;
+  std::uint64_t plan_us = 0;       // batch-plan build (kPlan mode; else 0)
+  std::uint64_t apply_us = 0;      // maintainer batches minus plan build
+  std::uint64_t om_compact_us = 0; // quiescent OM compaction + mem sample
+  std::uint64_t publish_us = 0;    // COW publish + snapshot wrap
+  std::uint64_t flush_us = 0;      // whole flush wall time
+
+  // Worker attribution for the apply phase, summed over this flush's
+  // batch dispatches: busy is time inside the dispatch loops, idle is
+  // workers * dispatch wall - busy (waiting on the team, exhausted
+  // cursors, straggler tails), steals counts chunks run by a non-owner.
+  std::uint32_t workers = 0;
+  std::uint64_t worker_busy_us = 0;
+  std::uint64_t worker_idle_us = 0;
+  std::uint64_t steal_chunks = 0;
+};
+
+/// Fixed-capacity ring of the most recent flush spans.
+class FlushTrace {
+ public:
+  explicit FlushTrace(std::size_t capacity = 1024)
+      : cap_(capacity == 0 ? 1 : capacity) {
+    ring_.resize(cap_);
+  }
+
+  void record(const FlushSpan& span) {
+    mu_.lock();
+    ring_[static_cast<std::size_t>(seq_ % cap_)] = span;
+    ++seq_;
+    mu_.unlock();
+  }
+
+  /// The retained spans, oldest first (at most capacity()).
+  std::vector<FlushSpan> snapshot() const {
+    std::vector<FlushSpan> out;
+    mu_.lock();
+    const std::uint64_t kept = seq_ < cap_ ? seq_ : cap_;
+    out.reserve(static_cast<std::size_t>(kept));
+    for (std::uint64_t i = seq_ - kept; i < seq_; ++i)
+      out.push_back(ring_[static_cast<std::size_t>(i % cap_)]);
+    mu_.unlock();
+    return out;
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+  /// Spans recorded since construction (>= capacity() once wrapped).
+  std::uint64_t recorded() const {
+    mu_.lock();
+    const std::uint64_t s = seq_;
+    mu_.unlock();
+    return s;
+  }
+
+ private:
+  mutable Spinlock mu_;
+  std::vector<FlushSpan> ring_;
+  std::size_t cap_;
+  std::uint64_t seq_ = 0;  // guarded by mu_
+};
+
+}  // namespace parcore::obs

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "maint/core_state.h"
+#include "support/timer.h"
 #include "support/types.h"
 #include "sync/thread_team.h"
 
@@ -70,6 +71,9 @@ struct PlanStats {
   bool locality_only = false;      // built for serial dispatch: bucket
                                    // order only, no wave colouring
   std::uint64_t steals = 0;        // chunks run by a non-owning worker
+  std::uint64_t busy_us = 0;       // summed per-worker dispatch-loop time
+                                   // (execute wall x workers minus this
+                                   // is the idle/straggler slack)
 };
 
 /// Locality key of an edge operation: the affected level and the OM
@@ -162,9 +166,11 @@ std::size_t BatchPlan::execute(ThreadTeam& team, int workers, Op&& op) {
   const int p = std::max(1, std::min(workers, team.max_workers()));
   if (p == 1 || order_.size() <= chunk_) {
     // Serial fast path: no cursors, no claiming.
+    WallTimer busy;
     std::size_t done = 0;
     for (const Edge& e : order_)
       if (op(0, e)) ++done;
+    stats_.busy_us += busy.elapsed_us();
     return done;
   }
 
@@ -188,9 +194,11 @@ std::size_t BatchPlan::execute(ThreadTeam& team, int workers, Op&& op) {
   struct alignas(64) Totals {
     std::atomic<std::size_t> applied{0};
     std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> busy_us{0};
   } totals;
 
   team.run(p, [&, this](int wk) {
+    WallTimer busy;
     const auto self = static_cast<std::size_t>(wk);
     std::size_t done = 0;
     std::uint64_t steals = 0;
@@ -228,8 +236,10 @@ std::size_t BatchPlan::execute(ThreadTeam& team, int workers, Op&& op) {
     }
     totals.applied.fetch_add(done, std::memory_order_relaxed);
     totals.steals.fetch_add(steals, std::memory_order_relaxed);
+    totals.busy_us.fetch_add(busy.elapsed_us(), std::memory_order_relaxed);
   });
   stats_.steals = totals.steals.load(std::memory_order_relaxed);
+  stats_.busy_us += totals.busy_us.load(std::memory_order_relaxed);
   return totals.applied.load(std::memory_order_relaxed);
 }
 

@@ -36,6 +36,7 @@ template <typename Fn>
 BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
                                                int workers, Fn&& op) {
   last_plan_ = PlanStats{};
+  last_timing_ = BatchTiming{};
   ++changed_epoch_;
   last_changed_.clear();  // keeps capacity across steady-state batches
   for (auto& ctx : ctxs_) ctx.changed.clear();
@@ -45,6 +46,7 @@ BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
   // not ping-pong with it (or with the stack frame around them).
   alignas(64) std::atomic<std::size_t> applied{0};
   alignas(64) std::atomic<std::size_t> next{0};
+  alignas(64) std::atomic<std::uint64_t> busy_us{0};
   switch (opts_.schedule) {
     case ScheduleMode::kPlan: {
       // Effective parallelism: claimers beyond the team or the hardware
@@ -56,11 +58,17 @@ BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
       const int effective = std::max(
           1, std::min({workers, team_.max_workers(),
                        ThreadTeam::hardware_workers()}));
+      WallTimer build_timer;
       plan_.build(edges, state_, opts_.plan, /*locality_only=*/effective == 1);
+      last_timing_.plan_us = build_timer.elapsed_us();
+      WallTimer dispatch_timer;
       r.applied = plan_.execute(team_, effective, [&](int w, const Edge& e) {
         return op(ctxs_[static_cast<std::size_t>(w)], e);
       });
+      last_timing_.dispatch_us = dispatch_timer.elapsed_us();
       last_plan_ = plan_.stats();
+      last_timing_.busy_us = last_plan_.busy_us;
+      last_timing_.workers = effective;
       r.skipped = edges.size() - r.applied;
       collect_changed();
       return r;
@@ -71,7 +79,9 @@ BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
       // assigned past team capacity would silently never execute.
       const std::size_t p = static_cast<std::size_t>(
           std::max(1, std::min({workers, team_.max_workers(), 1024})));
+      WallTimer dispatch_timer;
       team_.run(workers, [&](int w) {
+        WallTimer busy;
         WorkerCtx& ctx = ctxs_[static_cast<std::size_t>(w)];
         const std::size_t base = edges.size() / p;
         const std::size_t extra = edges.size() % p;
@@ -82,11 +92,17 @@ BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
         for (std::size_t i = begin; i < begin + len; ++i)
           if (op(ctx, edges[i])) ++done;
         applied.fetch_add(done, std::memory_order_relaxed);
+        busy_us.fetch_add(busy.elapsed_us(), std::memory_order_relaxed);
       });
+      last_timing_.dispatch_us = dispatch_timer.elapsed_us();
+      last_timing_.busy_us = busy_us.load(std::memory_order_relaxed);
+      last_timing_.workers = static_cast<int>(p);
       break;
     }
     case ScheduleMode::kDynamic: {
+      WallTimer dispatch_timer;
       team_.run(workers, [&](int w) {
+        WallTimer busy;
         WorkerCtx& ctx = ctxs_[static_cast<std::size_t>(w)];
         std::size_t done = 0;
         for (;;) {
@@ -95,7 +111,12 @@ BatchResult ParallelOrderMaintainer::run_batch(std::span<const Edge> edges,
           if (op(ctx, edges[i])) ++done;
         }
         applied.fetch_add(done, std::memory_order_relaxed);
+        busy_us.fetch_add(busy.elapsed_us(), std::memory_order_relaxed);
       });
+      last_timing_.dispatch_us = dispatch_timer.elapsed_us();
+      last_timing_.busy_us = busy_us.load(std::memory_order_relaxed);
+      last_timing_.workers =
+          std::max(1, std::min(workers, team_.max_workers()));
       break;
     }
   }

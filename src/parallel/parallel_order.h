@@ -105,6 +105,22 @@ class ParallelOrderMaintainer {
   /// EngineStats; `parcore_cli serve --plan` prints them per flush.
   const PlanStats& last_plan_stats() const { return last_plan_; }
 
+  /// Wall-time decomposition of the most recent batch (zeroed at every
+  /// batch start; valid at quiescence). `plan_us` is the kPlan build
+  /// cost; `dispatch_us` is the wall time of the worker dispatch
+  /// (team.run / plan execute — the batch op loops only; removal dout
+  /// repair is outside it but inside the engine's apply phase);
+  /// `busy_us` sums each worker's time inside its dispatch loop, so
+  /// `workers * dispatch_us - busy_us` is the idle/straggler slack the
+  /// flush trace reports (obs/trace.h).
+  struct BatchTiming {
+    std::uint64_t plan_us = 0;
+    std::uint64_t dispatch_us = 0;
+    std::uint64_t busy_us = 0;
+    int workers = 0;
+  };
+  const BatchTiming& last_timing() const { return last_timing_; }
+
   /// Vertices whose core number changed during the most recent
   /// insert/remove batch (deduplicated union across workers; reset at
   /// every batch start). This is the maintainer's V* localisation
@@ -158,6 +174,7 @@ class ParallelOrderMaintainer {
   std::vector<WorkerCtx> ctxs_;
   BatchPlan plan_;
   PlanStats last_plan_;
+  BatchTiming last_timing_;
 
   // Epoch-marked membership for deduplicating touched sets across
   // workers without an O(n) clear per batch; `repair_unique_` is the

@@ -36,7 +36,18 @@ std::size_t SizeHistogram::percentile(double p) const {
     acc += counts_[i];
     if (acc >= target) return i;
   }
-  return max_seen_;  // target falls in the overflow bucket
+  // Target falls among the overflow samples, which all lie in
+  // (counts_.size() - 1, max_seen_]. Their individual values are gone,
+  // so interpolate linearly by rank across that range instead of
+  // snapping every overflow percentile to the maximum (which made p50
+  // and p99 indistinguishable once the exact range overflowed).
+  const std::size_t bound = counts_.size() - 1;
+  if (max_seen_ <= bound || overflow_ == 0) return max_seen_;
+  const std::uint64_t rank = target - acc;  // 1-based within overflow
+  return bound + static_cast<std::size_t>(
+                     static_cast<double>(max_seen_ - bound) *
+                     static_cast<double>(rank) /
+                     static_cast<double>(overflow_));
 }
 
 std::string SizeHistogram::bucket_report() const {

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace parcore {
@@ -16,6 +17,14 @@ class WallTimer {
   double elapsed_ms() const {
     return std::chrono::duration<double, std::milli>(Clock::now() - start_)
         .count();
+  }
+
+  /// Whole microseconds; the unit of the observability phase timings.
+  std::uint64_t elapsed_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
   }
 
  private:

@@ -1,0 +1,384 @@
+// Observability substrate tests (ISSUE 6): registry correctness under
+// concurrent hammering (run under TSan in CI), flush-trace ring
+// wraparound, exporter golden output, and the loopback HTTP pair.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace parcore::obs {
+namespace {
+
+// Recording tests need the compile-time switch on and the runtime gate
+// open; the gate is restored per-test so suite order never matters.
+class ObsRecordingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kCompiledIn) GTEST_SKIP() << "built with PARCORE_OBS=OFF";
+    was_enabled_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    if (kCompiledIn) set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+using ObsRegistryTest = ObsRecordingTest;
+using ObsExportTest = ObsRecordingTest;
+
+TEST_F(ObsRecordingTest, CounterExactUnderThreads) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hammer_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPer = 200000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPer; ++i) c.inc();
+    });
+  for (auto& th : pool) th.join();
+  // Sharded cells may split the count arbitrarily; the sum is exact.
+  EXPECT_EQ(c.value(), kThreads * kPer);
+}
+
+TEST_F(ObsRecordingTest, GaugeSetAddAndNegative) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("level");
+  g.set(100);
+  g.add(-150);
+  EXPECT_EQ(g.value(), -50);
+}
+
+TEST_F(ObsRecordingTest, HistogramBucketsAndQuantiles) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("values");
+  for (int i = 0; i < 90; ++i) h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 90u + 10u * 1000u);
+  EXPECT_NEAR(snap.mean(), 100.9, 1e-9);
+  EXPECT_EQ(snap.quantile_upper(0.5), 1u);
+  // 1000 has bit_width 10 -> bucket 10, upper bound 2^10 - 1.
+  EXPECT_EQ(snap.quantile_upper(0.99), 1023u);
+}
+
+TEST_F(ObsRecordingTest, HistogramExactUnderThreads) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPer = 50000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i)
+        h.record(static_cast<std::uint64_t>(t));
+    });
+  for (auto& th : pool) th.join();
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPer);
+  EXPECT_EQ(snap.sum, kPer * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST_F(ObsRecordingTest, RuntimeGateDropsRecords) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("gated");
+  Histogram& h = reg.histogram("gated_h");
+  set_enabled(false);
+  c.add(7);
+  h.record(7);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  set_enabled(true);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST_F(ObsRegistryTest, SameNameSameHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total");
+  Counter& b = reg.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  // Kinds are separate namespaces: a gauge named like a counter is a
+  // distinct metric.
+  Gauge& g = reg.gauge("x_total");
+  g.set(3);
+  a.inc();
+  EXPECT_EQ(a.value(), 1u);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST_F(ObsRegistryTest, CollectPreservesRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("b_total").add(2);
+  reg.counter("a_total").add(1);
+  reg.gauge("z").set(-5);
+  reg.histogram("lat").record(3);
+
+  std::vector<MetricsRegistry::CounterRow> counters;
+  std::vector<MetricsRegistry::GaugeRow> gauges;
+  std::vector<MetricsRegistry::HistogramRow> histograms;
+  reg.collect(counters, gauges, histograms);
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "b_total");  // registration, not sort, order
+  EXPECT_EQ(counters[0].value, 2u);
+  EXPECT_EQ(counters[1].name, "a_total");
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].value, -5);
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].snap.count, 1u);
+}
+
+// Registration races recording and collection: 8 threads repeatedly
+// look up overlapping names, bump them, and interleave collect() calls.
+// The assertion is the final exact total; the point is a clean TSan run.
+TEST_F(ObsRegistryTest, ConcurrentRegisterRecordCollect) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<std::uint64_t> expected{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&reg, &expected, t] {
+      const std::string name = "shared_" + std::to_string(t % 3) + "_total";
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter(name).inc();
+        expected.fetch_add(1, std::memory_order_relaxed);
+        if (i % 256 == 0) {
+          std::vector<MetricsRegistry::CounterRow> counters;
+          std::vector<MetricsRegistry::GaugeRow> gauges;
+          std::vector<MetricsRegistry::HistogramRow> histograms;
+          reg.collect(counters, gauges, histograms);
+          EXPECT_LE(counters.size(), 3u);
+        }
+      }
+    });
+  for (auto& th : pool) th.join();
+  std::uint64_t total = 0;
+  for (int k = 0; k < 3; ++k)
+    total += reg.counter("shared_" + std::to_string(k) + "_total").value();
+  EXPECT_EQ(total, expected.load());
+}
+
+TEST(FlushTraceTest, RingWrapsOldestFirst) {
+  FlushTrace trace(4);
+  EXPECT_EQ(trace.capacity(), 4u);
+  for (std::uint64_t e = 1; e <= 10; ++e) {
+    FlushSpan s;
+    s.epoch = e;
+    trace.record(s);
+  }
+  EXPECT_EQ(trace.recorded(), 10u);
+  const std::vector<FlushSpan> kept = trace.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().epoch, 7u);
+  EXPECT_EQ(kept.back().epoch, 10u);
+  for (std::size_t i = 1; i < kept.size(); ++i)
+    EXPECT_EQ(kept[i].epoch, kept[i - 1].epoch + 1);
+}
+
+TEST(FlushTraceTest, PartiallyFilledKeepsAll) {
+  FlushTrace trace(8);
+  for (std::uint64_t e = 1; e <= 3; ++e) {
+    FlushSpan s;
+    s.epoch = e;
+    trace.record(s);
+  }
+  const std::vector<FlushSpan> kept = trace.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].epoch, 1u);
+  EXPECT_EQ(kept[2].epoch, 3u);
+}
+
+TEST(FlushTraceTest, ZeroCapacityClampsToOne) {
+  FlushTrace trace(0);
+  EXPECT_EQ(trace.capacity(), 1u);
+  FlushSpan s;
+  s.epoch = 42;
+  trace.record(s);
+  ASSERT_EQ(trace.snapshot().size(), 1u);
+  EXPECT_EQ(trace.snapshot()[0].epoch, 42u);
+}
+
+// One writer (flush cadence) races snapshot readers; spans must never
+// tear (epoch stamped in every field makes a torn copy detectable).
+TEST(FlushTraceTest, ConcurrentRecordAndSnapshot) {
+  FlushTrace trace(16);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (std::uint64_t e = 1; e <= 20000; ++e) {
+      FlushSpan s;
+      s.epoch = e;
+      s.raw = e;
+      s.flush_us = e;
+      trace.record(s);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const FlushSpan& s : trace.snapshot()) {
+        EXPECT_EQ(s.raw, s.epoch);
+        EXPECT_EQ(s.flush_us, s.epoch);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(trace.recorded(), 20000u);
+}
+
+TEST_F(ObsExportTest, PrometheusTextGolden) {
+  MetricsRegistry reg;
+  reg.counter("parcore_test_flushes_total").add(3);
+  reg.gauge("parcore_test_epoch").set(-2);
+  Histogram& h = reg.histogram("parcore_test_batch");
+  h.record(1);
+  h.record(1);
+  h.record(5);
+
+  const std::string text = prometheus_text(reg);
+  EXPECT_EQ(text,
+            "# TYPE parcore_test_flushes_total counter\n"
+            "parcore_test_flushes_total 3\n"
+            "# TYPE parcore_test_epoch gauge\n"
+            "parcore_test_epoch -2\n"
+            "# TYPE parcore_test_batch histogram\n"
+            "parcore_test_batch_bucket{le=\"1\"} 2\n"
+            "parcore_test_batch_bucket{le=\"7\"} 3\n"
+            "parcore_test_batch_bucket{le=\"+Inf\"} 3\n"
+            "parcore_test_batch_sum 7\n"
+            "parcore_test_batch_count 3\n");
+}
+
+TEST_F(ObsExportTest, HumanSummaryGolden) {
+  MetricsRegistry reg;
+  reg.counter("updates_total").add(10);
+  reg.gauge("epoch").set(4);
+  Histogram& h = reg.histogram("flush_us");
+  for (int i = 0; i < 4; ++i) h.record(100);
+
+  EXPECT_EQ(human_summary(reg),
+            "metrics:\n"
+            "  updates_total = 10\n"
+            "  epoch = 4\n"
+            "histograms (count / mean / ~p50 / ~p99):\n"
+            "  flush_us = 4 / 100.0 / <=127 / <=127\n");
+}
+
+TEST(ObsExportPlain, EmptyRegistryRendersEmpty) {
+  MetricsRegistry reg;
+  EXPECT_EQ(prometheus_text(reg), "");
+  EXPECT_EQ(human_summary(reg), "");
+}
+
+TEST(ObsExportPlain, TraceJsonLineGolden) {
+  FlushSpan s;
+  s.epoch = 7;
+  s.raw = 100;
+  s.inserts = 60;
+  s.removes = 30;
+  s.pages_cloned = 5;
+  s.drain_us = 10;
+  s.coalesce_us = 20;
+  s.plan_us = 30;
+  s.apply_us = 40;
+  s.om_compact_us = 50;
+  s.publish_us = 60;
+  s.flush_us = 215;
+  s.workers = 4;
+  s.worker_busy_us = 120;
+  s.worker_idle_us = 40;
+  s.steal_chunks = 2;
+  EXPECT_EQ(trace_json_line(s),
+            "{\"epoch\":7,\"raw\":100,\"inserts\":60,\"removes\":30,"
+            "\"pages_cloned\":5,\"drain_us\":10,\"coalesce_us\":20,"
+            "\"plan_us\":30,\"apply_us\":40,\"om_compact_us\":50,"
+            "\"publish_us\":60,\"flush_us\":215,\"workers\":4,"
+            "\"worker_busy_us\":120,\"worker_idle_us\":40,"
+            "\"steal_chunks\":2}");
+}
+
+TEST(ObsHttpTest, ServeAndFetchRoundTrip) {
+  MetricsHttpServer server;
+  // Port 0: ephemeral bind, so parallel test runs never collide.
+  ASSERT_TRUE(server.start(
+      0, [] { return std::string("metrics-body\n"); },
+      [] { return std::string("summary-body\n"); }));
+  ASSERT_TRUE(server.running());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  std::string error;
+  EXPECT_EQ(http_fetch("127.0.0.1", port, "/metrics", &error), "metrics-body\n")
+      << error;
+  EXPECT_EQ(http_fetch("localhost", port, "/summary", &error), "summary-body\n")
+      << error;
+  EXPECT_EQ(http_fetch("127.0.0.1", port, "/", &error), "metrics-body\n")
+      << error;
+  // Unknown path: served (connection succeeds) but flagged.
+  const std::string missing = http_fetch("127.0.0.1", port, "/nope", &error);
+  EXPECT_NE(missing.find("unknown path"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // After stop the fetch must fail cleanly, not hang.
+  error.clear();
+  EXPECT_EQ(http_fetch("127.0.0.1", port, "/metrics", &error), "");
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ObsHttpTest, ConcurrentFetches) {
+  MetricsHttpServer server;
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(server.start(
+      0,
+      [&calls] {
+        calls.fetch_add(1);
+        return std::string("ok");
+      },
+      [] { return std::string(); }));
+  const int port = server.port();
+  constexpr int kClients = 4;
+  std::vector<std::thread> pool;
+  std::atomic<int> good{0};
+  for (int t = 0; t < kClients; ++t)
+    pool.emplace_back([port, &good] {
+      for (int i = 0; i < 8; ++i)
+        if (http_fetch("127.0.0.1", port, "/metrics") == "ok")
+          good.fetch_add(1);
+    });
+  for (auto& th : pool) th.join();
+  // The server is serial but the listen backlog queues clients; every
+  // request must eventually be answered.
+  EXPECT_EQ(good.load(), kClients * 8);
+  EXPECT_EQ(calls.load(), kClients * 8);
+  server.stop();
+}
+
+TEST(ObsGlobalTest, ProcessRegistryIsSingleton) {
+  MetricsRegistry& a = registry();
+  MetricsRegistry& b = registry();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace parcore::obs

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -28,6 +29,9 @@
 #include "io/temporal_stream.h"
 #include "maint/seq_order.h"
 #include "maint/traversal.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/timer.h"
 
 #ifdef PARCORE_HAVE_ZLIB
@@ -164,6 +168,15 @@ void print_load_summary(const std::string& path, const io::GraphData& data,
     std::printf("; dropped %zu self-loops, %zu duplicates",
                 data.stats.self_loops, data.stats.duplicates);
   std::printf(")\n");
+}
+
+/// The one operator-facing metrics renderer (docs/OBSERVABILITY.md):
+/// serve's closing report, serve's /summary HTTP endpoint and
+/// `stats --live` all print the global registry through this exporter,
+/// so the three surfaces can never drift apart.
+void print_metrics_summary(std::FILE* out) {
+  const std::string s = obs::human_summary(obs::registry());
+  if (!s.empty()) std::fputs(s.c_str(), out);
 }
 
 bool cores_match(const std::vector<CoreValue>& got,
@@ -467,6 +480,7 @@ int cmd_maintain(const Args& args) {
 
 constexpr const char* kStatsUsage =
     R"(usage: parcore_cli stats --input FILE
+       parcore_cli stats --live PORT
 
 Loads a dataset, materialises the slab-backed adjacency structure, and
 prints the degree distribution (power-of-two buckets) plus the memory
@@ -474,9 +488,27 @@ footprint breakdown from DynamicGraph::memory_stats() — arena bytes,
 slab slack, and the fraction of vertices stored inline.
 
   --input FILE   dataset (edge list / .mtx / .pcg; docs/FORMATS.md)
+  --live PORT    instead of loading a dataset, fetch and print the live
+                 metrics summary of a `serve --metrics-port PORT` run on
+                 this machine (the /summary endpoint; the same renderer
+                 serve's own closing report uses)
 )";
 
 int cmd_stats(const Args& args) {
+  if (args.has("live")) {
+    const long port = args.get_positive("live", 0);
+    if (port > 65535) throw UsageError("--live expects a port in [1, 65535]");
+    std::string error;
+    const std::string body = obs::http_fetch(
+        "127.0.0.1", static_cast<int>(port), "/summary", &error);
+    if (body.empty() && !error.empty()) {
+      std::fprintf(stderr, "parcore_cli: stats --live %ld: %s\n", port,
+                   error.c_str());
+      return 1;
+    }
+    std::fputs(body.c_str(), stdout);
+    return 0;
+  }
   const std::string input = args.get("input");
   if (input.empty()) return usage_error(kStatsUsage, "--input is required");
 
@@ -562,9 +594,18 @@ is checked against a fresh bz_decompose unless --no-verify.
                   per-flush plan stats (buckets, waves, steals)
   --repeat R      replay the stream R times (default 1; load amplifier)
   --no-verify     skip the final bz_decompose comparison
+  --metrics-port P  serve live metrics over HTTP on 127.0.0.1:P while
+                  the run is in flight (0 picks an ephemeral port):
+                  /metrics is Prometheus text exposition, /summary the
+                  human-readable summary (`stats --live P` fetches it)
+  --trace-out FILE  stream one JSON line per flush (the FlushSpan
+                  schema: per-phase timings, worker busy/idle/steals;
+                  docs/OBSERVABILITY.md)
 
 Engine flush policy comes from PARCORE_ENGINE_* (docs/CONFIG.md);
-PARCORE_ENGINE_SNAPSHOT_PAGE sizes the copy-on-write snapshot pages.
+PARCORE_ENGINE_SNAPSHOT_PAGE sizes the copy-on-write snapshot pages;
+PARCORE_OBS gates metrics recording, PARCORE_OBS_REPORT_MS enables the
+periodic stderr reporter.
 )";
 
 int cmd_serve(const Args& args) {
@@ -595,6 +636,40 @@ int cmd_serve(const Args& args) {
   if (args.has("workers"))
     opts.workers = static_cast<int>(args.get_positive("workers", opts.workers));
   if (args.has("plan")) opts.maintainer.schedule = ScheduleMode::kPlan;
+
+  // --trace-out: every flush span as one JSON line. The stream must
+  // outlive the engine (the sink runs under the flush lock until stop).
+  std::ofstream trace_file;
+  const std::string trace_out = args.get("trace-out");
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out, std::ios::trunc);
+    if (!trace_file) {
+      std::fprintf(stderr, "parcore_cli: cannot open --trace-out %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    opts.span_sink = [&trace_file](const obs::FlushSpan& s) {
+      trace_file << obs::trace_json_line(s) << '\n';
+    };
+  }
+
+  // --metrics-port: live HTTP exposition while the run is in flight.
+  obs::MetricsHttpServer http;
+  if (args.has("metrics-port")) {
+    const long port = args.get_int("metrics-port", 0);
+    if (port < 0 || port > 65535)
+      throw UsageError("--metrics-port must be in [0, 65535]");
+    if (!http.start(
+            static_cast<int>(port),
+            [] { return obs::prometheus_text(obs::registry()); },
+            [] { return obs::human_summary(obs::registry()); })) {
+      std::fprintf(stderr, "parcore_cli: cannot bind metrics port %ld\n",
+                   port);
+      return 1;
+    }
+    std::printf("metrics: http://127.0.0.1:%d/metrics (and /summary)\n",
+                http.port());
+  }
 
   DynamicGraph g(stream.num_vertices);
   ThreadTeam team(std::max(opts.workers, producers));
@@ -679,28 +754,39 @@ int cmd_serve(const Args& args) {
         sec > 0 ? static_cast<double>(point_reads.load()) / sec / 1000.0
                 : 0.0,
         static_cast<unsigned long long>(summaries.load()));
-  std::printf(
-      "  adjacency arena %.1f MB (slack %.1f%%, %.0f%% inline); "
-      "om compactions %llu reclaimed %llu groups\n",
-      static_cast<double>(stats.memory.total_bytes()) / 1e6,
-      100.0 * stats.memory.slack_fraction(),
-      100.0 * stats.memory.inline_fraction(),
-      static_cast<unsigned long long>(stats.om_compactions),
-      static_cast<unsigned long long>(stats.om_groups_reclaimed));
-  if (opts.maintainer.schedule == ScheduleMode::kPlan &&
-      stats.plan.batches > 0) {
-    const double b = static_cast<double>(stats.plan.batches);
+  // Per-phase pipeline decomposition, summed over every flush — the
+  // same partition each --trace-out span carries per flush.
+  {
+    const engine::EngineStats::PhaseTotals& ph = stats.phases;
+    const double total_ms =
+        static_cast<double>(ph.drain_us + ph.coalesce_us + ph.plan_us +
+                            ph.apply_us + ph.om_compact_us + ph.publish_us) /
+        1000.0;
     std::printf(
-        "  plan: %llu planned batches (%llu presorted by coalescer); "
-        "per flush avg %.1f buckets, %.1f waves; "
-        "%llu overflow edges, %llu steals\n",
-        static_cast<unsigned long long>(stats.plan.batches),
-        static_cast<unsigned long long>(stats.plan.presorted),
-        static_cast<double>(stats.plan.buckets) / b,
-        static_cast<double>(stats.plan.waves) / b,
-        static_cast<unsigned long long>(stats.plan.overflow_edges),
-        static_cast<unsigned long long>(stats.plan.steals));
+        "  phases (ms, all flushes): drain %.1f, coalesce %.1f, plan %.1f, "
+        "apply %.1f, om-compact %.1f, publish %.1f (sum %.1f)\n"
+        "  workers: busy %.1f ms, idle %.1f ms (%.0f%% utilised)\n",
+        static_cast<double>(ph.drain_us) / 1000.0,
+        static_cast<double>(ph.coalesce_us) / 1000.0,
+        static_cast<double>(ph.plan_us) / 1000.0,
+        static_cast<double>(ph.apply_us) / 1000.0,
+        static_cast<double>(ph.om_compact_us) / 1000.0,
+        static_cast<double>(ph.publish_us) / 1000.0, total_ms,
+        static_cast<double>(ph.worker_busy_us) / 1000.0,
+        static_cast<double>(ph.worker_idle_us) / 1000.0,
+        ph.worker_busy_us + ph.worker_idle_us > 0
+            ? 100.0 * static_cast<double>(ph.worker_busy_us) /
+                  static_cast<double>(ph.worker_busy_us + ph.worker_idle_us)
+            : 0.0);
   }
+  if (!trace_out.empty())
+    std::printf("  trace: %llu spans -> %s (ring retains last %zu)\n",
+                static_cast<unsigned long long>(eng.trace().recorded()),
+                trace_out.c_str(), eng.trace().capacity());
+  // Arena footprint, OM reclamation, plan/steal counters and the rest
+  // of the registry all render through the shared summary exporter —
+  // the same bytes serve's /summary endpoint and `stats --live` return.
+  print_metrics_summary(stdout);
 
   if (!args.has("no-verify")) {
     // Per-edge op order is preserved inside one producer stream, so the
@@ -852,10 +938,11 @@ int cli_main(const std::vector<std::string>& args) {
        {"input", "algo", "window", "batch", "workers", "steps"},
        {"verify", "plan"}, cmd_maintain},
       {"serve", kServeUsage,
-       {"input", "producers", "readers", "workers", "repeat"},
+       {"input", "producers", "readers", "workers", "repeat", "metrics-port",
+        "trace-out"},
        {"no-verify", "plan"}, cmd_serve},
       {"bench", kBenchUsage, {"input", "name", "ops"}, {"plan"}, cmd_bench},
-      {"stats", kStatsUsage, {"input"}, {}, cmd_stats},
+      {"stats", kStatsUsage, {"input", "live"}, {}, cmd_stats},
   };
 
   for (const Command& c : commands) {

@@ -20,6 +20,10 @@ ROW_FIELDS = {
         "policy", "producers", "workers", "seconds", "updates_per_sec",
         "epochs", "p50_flush_ms", "p99_flush_ms", "applied_inserts",
         "applied_removes", "plan_batches", "plan_waves", "plan_steals",
+        # Per-phase pipeline decomposition (us, summed over the cell's
+        # flushes; EngineStats::PhaseTotals).
+        "drain_us", "coalesce_us", "plan_us", "apply_us", "om_compact_us",
+        "publish_us", "worker_busy_us", "worker_idle_us",
     ],
     "scheduler": [
         "workload", "mode", "workers", "insert_ms", "remove_ms", "cycle_ms",
@@ -55,6 +59,20 @@ def validate(path):
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         return fail(path, "missing or empty 'rows'")
+
+    # Optional obs-overhead pair (bench_engine_throughput emits it; the
+    # CLI's file-driven variant does not).
+    overhead = doc.get("obs_overhead")
+    if overhead is not None:
+        if not isinstance(overhead, dict):
+            return fail(path, "'obs_overhead' is not an object")
+        for field in ("off_updates_per_sec", "on_updates_per_sec",
+                      "overhead_pct"):
+            value = overhead.get(field)
+            if not isinstance(value, (int, float)) or (
+                    isinstance(value, float) and not math.isfinite(value)):
+                return fail(path, f"obs_overhead field '{field}' not a "
+                                  f"finite number (got {value!r})")
 
     required = ROW_FIELDS.get(bench, [])
     for i, row in enumerate(rows):
