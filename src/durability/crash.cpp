@@ -1,0 +1,54 @@
+#include "durability/crash.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace parcore::durability {
+namespace {
+
+// Read the environment on every call rather than caching it: crash
+// points fire at flush cadence (not per edge), and the fork-based
+// recovery tests set PARCORE_DURABILITY_CRASH_AT in the child AFTER the
+// parent process may already have run flushes.
+const char* crash_at() {
+  const char* at = std::getenv("PARCORE_DURABILITY_CRASH_AT");
+  return (at != nullptr && *at != '\0') ? at : nullptr;
+}
+
+int crash_after() {
+  if (const char* raw = std::getenv("PARCORE_DURABILITY_CRASH_AFTER")) {
+    const int v = std::atoi(raw);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+// Hits of the configured point so far. A single global counter is
+// enough: at most one point name is armed per process.
+std::atomic<int> g_hits{0};
+
+}  // namespace
+
+void crash_point(const char* name) {
+  const char* at = crash_at();
+  if (at == nullptr || std::strcmp(at, name) != 0) return;
+  const int after = crash_after();
+  if (g_hits.fetch_add(1, std::memory_order_relaxed) + 1 < after) return;
+  // stderr is unbuffered enough for the fork-based tests to see why a
+  // child died when an assertion on the exit status fails.
+  std::fprintf(stderr, "parcore: injected crash at %s (hit %d)\n", name,
+               after);
+  _exit(kCrashExitStatus);
+}
+
+bool crash_point_armed(const char* name) {
+  const char* at = crash_at();
+  if (at == nullptr || std::strcmp(at, name) != 0) return false;
+  return g_hits.load(std::memory_order_relaxed) + 1 >= crash_after();
+}
+
+}  // namespace parcore::durability

@@ -1,0 +1,43 @@
+// Crash-injection points for the durability test harness
+// (docs/DURABILITY.md "crash matrix"). The WAL writer and checkpoint
+// protocol call crash_point(name) at every durability-relevant
+// boundary; when PARCORE_DURABILITY_CRASH_AT names that point, the
+// process dies with _exit (no destructors, no flushing — the closest
+// userspace approximation of a crash) on the Nth hit, where N comes
+// from PARCORE_DURABILITY_CRASH_AFTER (default 1).
+//
+// Data already write()n to a file descriptor survives _exit — the page
+// cache belongs to the kernel — so the points are placed to leave
+// exactly the on-disk artifact a real crash at that boundary would:
+// a half-written WAL frame, a complete-but-unsynced frame, a partial
+// checkpoint tmp file, an unrenamed tmp, an uncleaned old generation.
+#pragma once
+
+#include <cstdint>
+
+namespace parcore::durability {
+
+/// Exit status used by injected crashes, distinguishable from ordinary
+/// failures in the fork-based tests.
+inline constexpr int kCrashExitStatus = 42;
+
+/// Kill-point names accepted by PARCORE_DURABILITY_CRASH_AT:
+///   wal-mid-append          half a WAL frame written, then die
+///   wal-pre-fsync           full frame written, die before fdatasync
+///   wal-post-fsync          die right after the group fsync
+///   checkpoint-mid-write    die with a truncated checkpoint tmp file
+///   checkpoint-pre-rename   tmp + fresh WAL durable, die before rename
+///   checkpoint-post-rename  die after the rename commits, before the
+///                           old generation is cleaned up
+///
+/// Calls _exit(kCrashExitStatus) when `name` matches the environment
+/// and this is the configured hit; otherwise returns. Cheap when the
+/// env var is unset (one getenv on first call, then a flag check).
+void crash_point(const char* name);
+
+/// True when PARCORE_DURABILITY_CRASH_AT equals `name` and the NEXT hit
+/// of that point would crash — the WAL writer uses this to stage the
+/// half-written-frame artifact before dying.
+bool crash_point_armed(const char* name);
+
+}  // namespace parcore::durability

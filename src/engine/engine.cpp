@@ -58,6 +58,15 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
   stats_.memory_epoch = 0;
   obs_.threshold->set(static_cast<std::int64_t>(
       threshold_.load(std::memory_order_relaxed)));
+
+  // Durability: the initial checkpoint IS epoch 0 — recovery always has
+  // a base image, and the first WAL generation opens beside it.
+  if (!opts_.durability.dir.empty()) {
+    durability_ = std::make_unique<durability::Manager>(opts_.durability);
+    durability_->checkpoint(make_checkpoint(0));
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.durability = durability_->totals();
+  }
 }
 
 StreamingEngine::~StreamingEngine() { stop(); }
@@ -89,6 +98,14 @@ void StreamingEngine::stop() {
   // the run was shorter than om_compact_interval.
   {
     std::lock_guard<std::mutex> lk(flush_mu_);
+    // Shutdown checkpoint: anything logged since the last periodic one
+    // becomes part of a fresh generation, so a clean stop never needs
+    // WAL replay on the next recover.
+    if (durability_ && durability_->dirty()) {
+      durability_->checkpoint(make_checkpoint(published_epoch_));
+      std::lock_guard<std::mutex> lk2(stats_mu_);
+      stats_.durability = durability_->totals();
+    }
     const GraphMemoryStats mem = graph_.memory_stats();
     std::lock_guard<std::mutex> lk2(stats_mu_);
     stats_.memory = mem;
@@ -167,6 +184,19 @@ std::uint64_t StreamingEngine::flush_locked() {
   CoalescedBatch batch =
       coalesce(raw, graph_, planned ? &maintainer_.state() : nullptr);
   const std::uint64_t t_coalesce = timer.elapsed_us();
+
+  // Write-ahead: the coalesced ops are durable (group-fsync'd) BEFORE
+  // any of them mutate the graph, stamped with the epoch this flush
+  // will publish. Recovery replays exactly these batches in exactly
+  // this order (removes first).
+  if (durability_) {
+    durability::WalRecord rec;
+    rec.epoch = published_epoch_ + 1;
+    rec.removes = batch.removes;
+    rec.inserts = batch.inserts;
+    durability_->log_flush(rec);
+  }
+  const std::uint64_t t_wal = timer.elapsed_us();
 
   BatchResult ins, rem;
   EngineStats::PlanAggregate plan_delta;
@@ -248,6 +278,14 @@ std::uint64_t StreamingEngine::flush_locked() {
   auto snap = build_snapshot(epoch, std::move(view));
   const std::uint64_t t_publish = timer.elapsed_us();
 
+  // Periodic checkpoint at the flush quiescent point: the batch is
+  // fully applied, published, and no worker is running — exactly the
+  // state the checkpoint must capture. Rotating the WAL here keeps the
+  // invariant that wal-<e>.log holds only frames with epochs > e.
+  if (durability_ && durability_->checkpoint_due())
+    durability_->checkpoint(make_checkpoint(epoch));
+  const std::uint64_t t_checkpoint = timer.elapsed_us();
+
   const double flush_ms = timer.elapsed_ms();
 
   // Finalise the span: phases are consecutive deltas of the one clock,
@@ -260,11 +298,13 @@ std::uint64_t StreamingEngine::flush_locked() {
   span.pages_cloned = index_.last_pages_cloned();
   span.drain_us = t_drain;
   span.coalesce_us = t_coalesce - t_drain;
-  const std::uint64_t batch_window = t_apply - t_coalesce;
+  span.wal_us = t_wal - t_coalesce;
+  const std::uint64_t batch_window = t_apply - t_wal;
   span.apply_us =
       batch_window > span.plan_us ? batch_window - span.plan_us : 0;
   span.om_compact_us = t_compact - t_apply;
   span.publish_us = t_publish - t_compact;
+  span.checkpoint_us = t_checkpoint - t_publish;
   span.flush_us = static_cast<std::uint64_t>(flush_ms * 1000.0);
   span.steal_chunks = plan_delta.steals;
 
@@ -289,12 +329,15 @@ std::uint64_t StreamingEngine::flush_locked() {
     stats_.plan.steals += plan_delta.steals;
     stats_.phases.drain_us += span.drain_us;
     stats_.phases.coalesce_us += span.coalesce_us;
+    stats_.phases.wal_us += span.wal_us;
     stats_.phases.plan_us += span.plan_us;
     stats_.phases.apply_us += span.apply_us;
     stats_.phases.om_compact_us += span.om_compact_us;
     stats_.phases.publish_us += span.publish_us;
+    stats_.phases.checkpoint_us += span.checkpoint_us;
     stats_.phases.worker_busy_us += span.worker_busy_us;
     stats_.phases.worker_idle_us += span.worker_idle_us;
+    if (durability_) stats_.durability = durability_->totals();
     stats_.snapshot_pages_cloned += index_.last_pages_cloned();
     stats_.publish_us.record(static_cast<std::size_t>(publish_ms * 1000.0));
     stats_.flush_us.record(static_cast<std::size_t>(flush_ms * 1000.0));
@@ -328,6 +371,17 @@ std::uint64_t StreamingEngine::flush_locked() {
   obs_.batch_size->record(span.raw);
   obs_.publish_us->record(static_cast<std::uint64_t>(publish_ms * 1000.0));
   return epoch;
+}
+
+io::PcgCheckpoint StreamingEngine::make_checkpoint(std::uint64_t epoch) {
+  io::PcgCheckpoint ck;
+  ck.epoch = epoch;
+  ck.num_vertices = graph_.num_vertices();
+  ck.edges = graph_.edges();
+  SavedCoreOrder saved = maintainer_.state().save_order();
+  ck.core = std::move(saved.core);
+  ck.order = std::move(saved.order);
+  return ck;
 }
 
 std::shared_ptr<EngineSnapshot> StreamingEngine::build_snapshot(
@@ -448,6 +502,18 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
       env_int("PARCORE_ENGINE_PLAN_CHUNK",
               static_cast<long>(base.maintainer.plan.chunk_edges)),
       1L, 4096L));
+  // Durability knobs (docs/CONFIG.md, docs/DURABILITY.md).
+  base.durability.dir = env_str("PARCORE_WAL_DIR", base.durability.dir);
+  base.durability.checkpoint_interval = static_cast<std::size_t>(std::max(
+      env_int("PARCORE_WAL_CHECKPOINT_INTERVAL",
+              static_cast<long>(base.durability.checkpoint_interval)),
+      0L));
+  if (std::getenv("PARCORE_WAL_FSYNC") != nullptr)
+    base.durability.fsync = env_flag("PARCORE_WAL_FSYNC");
+  base.durability.retain = static_cast<std::size_t>(std::max(
+      env_int("PARCORE_WAL_RETAIN",
+              static_cast<long>(base.durability.retain)),
+      1L));
   return base;
 }
 

@@ -33,6 +33,7 @@
 
 #include <functional>
 
+#include "durability/manager.h"
 #include "engine/coalesce.h"
 #include "engine/ingest.h"
 #include "graph/dynamic_graph.h"
@@ -110,21 +111,27 @@ struct EngineStats {
     std::uint64_t steals = 0;          // chunks run by a non-owner
   };
   PlanAggregate plan;
-  /// Per-phase wall time summed over every flush, microseconds. The six
-  /// phases partition each flush window (obs/trace.h FlushSpan), so
-  /// their sums track `flush_us`'s total up to per-flush rounding.
+  /// Per-phase wall time summed over every flush, microseconds. The
+  /// eight phases partition each flush window (obs/trace.h FlushSpan),
+  /// so their sums track `flush_us`'s total up to per-flush rounding.
+  /// wal_us / checkpoint_us stay 0 unless durability is enabled.
   struct PhaseTotals {
     std::uint64_t drain_us = 0;
     std::uint64_t coalesce_us = 0;
+    std::uint64_t wal_us = 0;
     std::uint64_t plan_us = 0;
     std::uint64_t apply_us = 0;
     std::uint64_t om_compact_us = 0;
     std::uint64_t publish_us = 0;
+    std::uint64_t checkpoint_us = 0;
     /// Worker attribution of the apply dispatches (trace.h semantics).
     std::uint64_t worker_busy_us = 0;
     std::uint64_t worker_idle_us = 0;
   };
   PhaseTotals phases;
+  /// Durability accounting (checkpoints written, WAL frames/bytes/
+  /// fsyncs); all zero unless Options::durability.dir is set.
+  durability::Manager::Totals durability;
   /// Adjacency-storage footprint. The sample is an O(n) scan, so it is
   /// NOT refreshed on every flush. Staleness rule: the sample is retaken
   /// (a) at every OM compaction, (b) at stop(), and (c) lazily by
@@ -188,6 +195,16 @@ class StreamingEngine {
     /// the metrics summary (obs::human_summary of the global registry)
     /// to stderr every interval. 0 disables it.
     double report_interval_ms = 0.0;
+    /// Durability (docs/DURABILITY.md): a non-empty `durability.dir`
+    /// enables epoch checkpointing + the op WAL. The constructor writes
+    /// the initial checkpoint (epoch 0), every flush appends its
+    /// coalesced ops to the WAL before applying them, a checkpoint is
+    /// taken every `durability.checkpoint_interval` flushes at the
+    /// flush quiescent point, and stop() takes a final checkpoint when
+    /// frames were logged since the last one. The directory must not
+    /// already contain checkpoints (the constructor throws io::IoError:
+    /// a stale higher-epoch generation would shadow this run's).
+    durability::Manager::Options durability{};
     ParallelOrderMaintainer::Options maintainer{};
   };
 
@@ -265,12 +282,19 @@ class StreamingEngine {
   std::shared_ptr<EngineSnapshot> build_snapshot(std::uint64_t epoch,
                                                  query::CoreView view);
   void adapt_threshold(double flush_ms, std::size_t raw);
+  /// Full durable image of the current state (requires flush_mu_ — the
+  /// graph walk and save_order need quiescence).
+  io::PcgCheckpoint make_checkpoint(std::uint64_t epoch);
 
   DynamicGraph& graph_;
   Options opts_;
   ParallelOrderMaintainer maintainer_;
   IngestQueue queue_;
   Notifier notifier_;
+  // Checkpoint/WAL lifecycle; null unless Options::durability.dir is
+  // set. Touched only under flush_mu_ (WAL appends and checkpoints are
+  // part of the flush window by design).
+  std::unique_ptr<durability::Manager> durability_;
 
   std::thread scheduler_;
   std::thread reporter_;

@@ -1,0 +1,43 @@
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over byte buffers, used
+// to protect every durability artifact: checkpoint sections and WAL
+// records both carry a CRC so recovery can tell a torn write from
+// structural corruption without trusting lengths alone. Table-based
+// software implementation — the durability layer must not depend on the
+// optional zlib build.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace parcore::io {
+
+namespace detail {
+
+inline std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental form: pass the previous return value as `seed` to extend
+/// a running checksum across multiple buffers. The default seed is the
+/// standard initial state.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  static const std::array<std::uint32_t, 256> table = detail::make_crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace parcore::io

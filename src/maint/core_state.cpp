@@ -45,8 +45,8 @@ std::size_t LevelDirectory::compact_all() {
   return reclaimed;
 }
 
-void CoreState::initialize(const DynamicGraph& g, const Options& opts) {
-  n_ = g.num_vertices();
+void CoreState::allocate(std::size_t n) {
+  n_ = n;
   core_ = std::make_unique<std::atomic<CoreValue>[]>(n_);
   dout_ = std::make_unique<std::atomic<CoreValue>[]>(n_);
   mcd_ = std::make_unique<std::atomic<CoreValue>[]>(n_);
@@ -55,6 +55,10 @@ void CoreState::initialize(const DynamicGraph& g, const Options& opts) {
   din_.assign(n_, 0);
   locks_ = std::make_unique<Spinlock[]>(n_);
   items_ = std::make_unique<OmItem[]>(n_);
+}
+
+void CoreState::initialize(const DynamicGraph& g, const Options& opts) {
+  allocate(g.num_vertices());
 
   Decomposition d = bz_decompose(g);
   max_core_.store(d.max_core, std::memory_order_relaxed);
@@ -92,6 +96,95 @@ void CoreState::initialize(const DynamicGraph& g, const Options& opts) {
     dout_[v].store(out, std::memory_order_relaxed);
     mcd_[v].store(m, std::memory_order_relaxed);
   }
+}
+
+bool CoreState::initialize_from_order(const DynamicGraph& g,
+                                      const SavedCoreOrder& saved,
+                                      const Options& opts,
+                                      std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  const std::size_t n = g.num_vertices();
+  if (saved.core.size() != n || saved.order.size() != n)
+    return fail("saved state sized for " + std::to_string(saved.core.size()) +
+                "/" + std::to_string(saved.order.size()) +
+                " vertices, graph has " + std::to_string(n));
+
+  allocate(n);
+  for (VertexId v = 0; v < n_; ++v) {
+    t_[v].store(0, std::memory_order_relaxed);
+    s_[v].store(0, std::memory_order_relaxed);
+    items_[v].vertex = v;
+  }
+
+  // The order must be a permutation with non-decreasing cores along it
+  // (a level-ascending concatenation); appending in saved order then
+  // reproduces each O_k exactly.
+  std::vector<std::size_t> rank(n_);
+  std::vector<bool> seen(n_, false);
+  CoreValue prev = 0;
+  for (std::size_t i = 0; i < saved.order.size(); ++i) {
+    const VertexId v = saved.order[i];
+    if (v >= n_ || seen[v])
+      return fail("order is not a permutation (entry " + std::to_string(i) +
+                  ")");
+    seen[v] = true;
+    rank[v] = i;
+    const CoreValue k = saved.core[v];
+    if (k < 0 || k < prev)
+      return fail("cores along the saved order decrease at entry " +
+                  std::to_string(i));
+    prev = k;
+  }
+  const CoreValue maxk = n_ > 0 ? saved.core[saved.order.back()] : 0;
+  max_core_.store(maxk, std::memory_order_relaxed);
+
+  levels_.clear();
+  levels_.configure(opts.om_group_capacity);
+  levels_.ensure_capacity(static_cast<std::size_t>(maxk) + 2);
+  for (VertexId v : saved.order) {
+    core_[v].store(saved.core[v], std::memory_order_relaxed);
+    levels_.get_or_create(saved.core[v]).insert_tail(&items_[v]);
+  }
+
+  // dout from the restored ranks, mcd from the restored cores — the same
+  // definitions initialize() computes from the peel order. The k-order
+  // bound dout <= core and the coreness lower bound mcd >= core must
+  // hold for any valid saved state; violating either means the file
+  // (though CRC-clean) does not describe this graph.
+  for (VertexId v = 0; v < n_; ++v) {
+    CoreValue out = 0, m = 0;
+    for (VertexId u : g.neighbors(v)) {
+      if (rank[u] > rank[v]) ++out;
+      if (saved.core[u] >= saved.core[v]) ++m;
+    }
+    if (out > saved.core[v])
+      return fail("vertex " + std::to_string(v) + " violates the k-order " +
+                  "bound (dout " + std::to_string(out) + " > core " +
+                  std::to_string(saved.core[v]) + ")");
+    if (m < saved.core[v])
+      return fail("vertex " + std::to_string(v) + " has mcd " +
+                  std::to_string(m) + " < core " +
+                  std::to_string(saved.core[v]));
+    dout_[v].store(out, std::memory_order_relaxed);
+    mcd_[v].store(m, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+SavedCoreOrder CoreState::save_order() const {
+  SavedCoreOrder out;
+  out.core = cores_snapshot();
+  out.order.reserve(n_);
+  for (std::size_t k = 0; k < levels_.capacity(); ++k) {
+    const OrderList* list = levels_.get(static_cast<CoreValue>(k));
+    if (list == nullptr) continue;
+    const std::vector<VertexId> level = list->to_vector();
+    out.order.insert(out.order.end(), level.begin(), level.end());
+  }
+  return out;
 }
 
 void CoreState::raise_max_core(CoreValue k) {

@@ -58,6 +58,17 @@ class LevelDirectory {
   std::deque<OrderList> storage_;  // stable addresses
 };
 
+/// A serializable image of the order-based state: per-vertex core
+/// numbers plus the global k-order (the per-level order lists
+/// concatenated ascending by level, so core values along `order` are
+/// non-decreasing). This is exactly what a durability checkpoint stores
+/// (io/pcg.h PcgCheckpoint) — restoring it rebuilds dout/mcd from the
+/// order alone, skipping bz_decompose entirely.
+struct SavedCoreOrder {
+  std::vector<CoreValue> core;
+  std::vector<VertexId> order;
+};
+
 /// SoA vertex state. All cross-thread fields are atomics; `din` is only
 /// touched by the lock holder of its vertex.
 class CoreState {
@@ -68,6 +79,22 @@ class CoreState {
 
   void initialize(const DynamicGraph& g, const Options& opts);
   void initialize(const DynamicGraph& g) { initialize(g, Options()); }
+
+  /// Rebuilds the full state from a saved (core, k-order) pair instead
+  /// of running bz_decompose: O_k lists are filled by appending in the
+  /// saved order, dout comes from the order ranks and mcd from the
+  /// saved cores. Validates shape (sizes, permutation, non-decreasing
+  /// cores along the order) and the structural invariants dout <= core
+  /// and mcd >= core; on violation returns false with a diagnostic in
+  /// `error` and leaves the state unusable (re-initialize before use).
+  /// Whether the saved cores are CORRECT for `g` is not (and cannot
+  /// cheaply be) checked here — recovery differentially verifies
+  /// against bz_decompose instead.
+  bool initialize_from_order(const DynamicGraph& g, const SavedCoreOrder& saved,
+                             const Options& opts, std::string* error);
+
+  /// The serializable image of the current state (quiescent only).
+  SavedCoreOrder save_order() const;
 
   std::size_t size() const { return n_; }
 
@@ -118,6 +145,8 @@ class CoreState {
                         bool check_cores = false) const;
 
  private:
+  void allocate(std::size_t n);
+
   std::size_t n_ = 0;
   std::unique_ptr<std::atomic<CoreValue>[]> core_;
   std::unique_ptr<std::atomic<CoreValue>[]> dout_;

@@ -106,10 +106,12 @@ std::string trace_json_line(const FlushSpan& s) {
   field("pages_cloned", s.pages_cloned);
   field("drain_us", s.drain_us);
   field("coalesce_us", s.coalesce_us);
+  field("wal_us", s.wal_us);
   field("plan_us", s.plan_us);
   field("apply_us", s.apply_us);
   field("om_compact_us", s.om_compact_us);
   field("publish_us", s.publish_us);
+  field("checkpoint_us", s.checkpoint_us);
   field("flush_us", s.flush_us);
   field("workers", s.workers);
   field("worker_busy_us", s.worker_busy_us);

@@ -1,6 +1,7 @@
 // Structured per-flush spans: one record per engine flush with the
-// nested phase timings (drain / coalesce / plan / apply / om-compact /
-// publish), batch composition, COW publish cost and worker busy/steal/
+// nested phase timings (drain / coalesce / wal / plan / apply /
+// om-compact / publish / checkpoint), batch composition, COW publish
+// cost and worker busy/steal/
 // idle attribution. The engine keeps the most recent spans in a fixed
 // ring (`FlushTrace`) and can additionally stream every span as a JSON
 // line (`--trace-out`; schema in docs/OBSERVABILITY.md).
@@ -27,15 +28,18 @@ struct FlushSpan {
   std::uint64_t removes = 0;   // coalesced remove batch size
   std::uint64_t pages_cloned = 0;  // COW pages cloned by the publish
 
-  // Phase wall times, microseconds. The six phases partition the flush
-  // window: they sum to flush_us up to integer rounding (the acceptance
-  // bound is 10%; see docs/OBSERVABILITY.md "trace schema").
+  // Phase wall times, microseconds. The eight phases partition the
+  // flush window: they sum to flush_us up to integer rounding (the
+  // acceptance bound is 10%; see docs/OBSERVABILITY.md "trace schema").
+  // wal_us and checkpoint_us stay 0 unless durability is enabled.
   std::uint64_t drain_us = 0;
   std::uint64_t coalesce_us = 0;
+  std::uint64_t wal_us = 0;        // WAL append + group fsync (durability)
   std::uint64_t plan_us = 0;       // batch-plan build (kPlan mode; else 0)
   std::uint64_t apply_us = 0;      // maintainer batches minus plan build
   std::uint64_t om_compact_us = 0; // quiescent OM compaction + mem sample
   std::uint64_t publish_us = 0;    // COW publish + snapshot wrap
+  std::uint64_t checkpoint_us = 0; // periodic checkpoint (durability)
   std::uint64_t flush_us = 0;      // whole flush wall time
 
   // Worker attribution for the apply phase, summed over this flush's

@@ -12,6 +12,19 @@ ParallelOrderMaintainer::ParallelOrderMaintainer(DynamicGraph& g,
                                                  Options opts)
     : graph_(g), team_(team), opts_(opts) {
   ctxs_.resize(static_cast<std::size_t>(team_.max_workers()));
+  if (opts_.restore != nullptr) {
+    std::string err;
+    if (!state_.initialize_from_order(graph_, *opts_.restore, opts_.state,
+                                      &err))
+      throw std::runtime_error("cannot restore saved core order: " + err);
+    opts_.restore = nullptr;  // construction-time only; never dangles
+    mark_.assign(graph_.num_vertices(), 0);
+    epoch_ = 0;
+    changed_mark_.assign(graph_.num_vertices(), 0);
+    changed_epoch_ = 0;
+    last_changed_.clear();
+    return;
+  }
   rebuild();
 }
 

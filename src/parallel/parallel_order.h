@@ -58,6 +58,12 @@ class ParallelOrderMaintainer {
     bool collect_stats = false;  // Fig. 1 histograms
     ScheduleMode schedule = ScheduleMode::kDynamic;
     PlanOptions plan{};  // used when schedule == kPlan
+    /// Non-null: the constructor restores this saved (core, k-order)
+    /// image instead of running bz_decompose — the durability recovery
+    /// path (docs/DURABILITY.md). Read during construction only (the
+    /// pointer is not retained); the image must match the graph or the
+    /// constructor throws. rebuild() always re-decomposes from scratch.
+    const SavedCoreOrder* restore = nullptr;
   };
 
   /// Mutates `g`; both `g` and `team` must outlive the maintainer.

@@ -2,8 +2,22 @@
 // batches designed to hit skip paths everywhere.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
 #include "baseline/je.h"
+#include "durability/manager.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+#include "engine/engine.h"
 #include "gen/generators.h"
+#include "io/checksum.h"
+#include "io/io_error.h"
+#include "io/pcg.h"
 #include "maint/seq_order.h"
 #include "maint/traversal.h"
 #include "parallel/parallel_order.h"
@@ -160,6 +174,275 @@ TEST(FailureInjection, MaxCoreGrowthThroughRepeatedCliques) {
                              "clique " + std::to_string(size));
   }
   EXPECT_EQ(m.core(0), 23);
+}
+
+// ------------------------------------------------ durability corruption
+//
+// The WAL reader and checkpoint loader must fail CLOSED on anything
+// that cannot be explained by a crash mid-append: a durability layer
+// that guesses at corrupt bytes silently yields a wrong core index.
+// Torn tails (the one artifact a crash legitimately leaves) must be
+// tolerated, never thrown.
+
+namespace fs = std::filesystem;
+
+std::string fuzz_path(const std::string& name) {
+  std::string p = ::testing::TempDir() + "parcore-fuzz-" + name;
+  fs::remove_all(p);
+  return p;
+}
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Expects `fn` to throw io::IoError whose message contains `frag`.
+template <typename Fn>
+void expect_io_error(Fn fn, const std::string& frag, const char* context) {
+  try {
+    fn();
+    FAIL() << context << ": expected IoError containing \"" << frag << "\"";
+  } catch (const io::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(frag), std::string::npos)
+        << context << ": IoError message \"" << e.what()
+        << "\" lacks \"" << frag << "\"";
+  }
+}
+
+/// A WAL with three one-insert frames: header 32 B, frames of 32 B each
+/// at offsets 32, 64, 96; total 128 B.
+std::string three_frame_wal(const std::string& name) {
+  const std::string path = fuzz_path(name);
+  durability::WalWriter w = durability::WalWriter::create(path, 0, true);
+  w.append(durability::WalRecord{1, {}, {{0, 1}}});
+  w.append(durability::WalRecord{2, {}, {{1, 2}}});
+  w.append(durability::WalRecord{3, {}, {{2, 3}}});
+  w.close();
+  return path;
+}
+
+TEST(DurabilityFuzz, WalEveryTruncationIsTornOrCleanNeverWrong) {
+  const std::string path = three_frame_wal("wal-truncate");
+  const std::vector<unsigned char> full = slurp(path);
+  ASSERT_EQ(full.size(), 128u);
+  // Cutting inside the header can only mean corruption.
+  for (std::size_t cut : {0u, 1u, 17u, 31u}) {
+    spit(path, {full.begin(), full.begin() + cut});
+    expect_io_error([&] { durability::read_wal(path); }, "",
+                    ("header cut " + std::to_string(cut)).c_str());
+  }
+  // Every cut past the header is a torn tail or a clean end: frames
+  // before the cut are returned intact, nothing throws.
+  for (std::size_t cut = 32; cut <= full.size(); ++cut) {
+    spit(path, {full.begin(), full.begin() + cut});
+    durability::WalReadResult r = durability::read_wal(path);
+    const std::size_t complete = (cut - 32) / 32;
+    const bool torn = (cut - 32) % 32 != 0;
+    EXPECT_EQ(r.records.size(), complete) << "cut " << cut;
+    EXPECT_EQ(r.torn_tail, torn) << "cut " << cut;
+    if (torn) EXPECT_EQ(r.torn_offset, 32 + complete * 32) << "cut " << cut;
+    for (std::size_t i = 0; i < r.records.size(); ++i)
+      EXPECT_EQ(r.records[i].epoch, i + 1) << "cut " << cut;
+  }
+}
+
+TEST(DurabilityFuzz, WalHeaderDefectsFailClosed) {
+  const std::string path = three_frame_wal("wal-header");
+  const std::vector<unsigned char> full = slurp(path);
+
+  std::vector<unsigned char> bad = full;  // magic
+  bad[0] ^= 0xFF;
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, path, "bad magic");
+
+  bad = full;  // base_epoch byte under the header CRC
+  bad[10] ^= 0x01;
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, "offset",
+                  "flipped base_epoch");
+
+  bad = full;  // reserved bytes are CRC'd too
+  bad[20] ^= 0x40;
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, "offset",
+                  "flipped reserved byte");
+
+  // A version bump with a RE-FORGED valid CRC must still be refused.
+  bad = full;
+  bad[4] = 99;
+  const std::uint32_t crc = io::crc32(bad.data(), 28);
+  bad[28] = static_cast<unsigned char>(crc);
+  bad[29] = static_cast<unsigned char>(crc >> 8);
+  bad[30] = static_cast<unsigned char>(crc >> 16);
+  bad[31] = static_cast<unsigned char>(crc >> 24);
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, "version",
+                  "forged version");
+}
+
+TEST(DurabilityFuzz, WalFrameDefectsFailClosedWithOffset) {
+  const std::string path = three_frame_wal("wal-frame");
+  const std::vector<unsigned char> full = slurp(path);
+
+  // Bit-flip one payload byte of frame 2 (offset 64): its CRC catches
+  // it and the error names the frame's byte offset.
+  std::vector<unsigned char> bad = full;
+  bad[64 + 8 + 3] ^= 0x10;
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, "offset 64",
+                  "payload bit flip");
+
+  // Flip the stored CRC itself.
+  bad = full;
+  bad[32 + 4] ^= 0x01;
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, "offset 32",
+                  "crc bit flip");
+
+  // Impossible lengths: not 16 + 8k, and absurdly huge. Both precede
+  // any body read, so even a length that points past EOF fails closed.
+  bad = full;
+  bad[96] = 20;  // (20 - 16) % 8 != 0
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, "length",
+                  "misaligned length");
+
+  bad = full;
+  bad[96] = 0xFF;  // len = 0xFFFFFFFF > 1 GiB cap
+  bad[97] = 0xFF;
+  bad[98] = 0xFF;
+  bad[99] = 0xFF;
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, "length",
+                  "huge length");
+
+  // >= 8 bytes of trailing garbage parses as a frame prefix with an
+  // absurd length — corruption, not a torn tail.
+  bad = full;
+  bad.insert(bad.end(), 12, 0xFF);
+  spit(path, bad);
+  expect_io_error([&] { durability::read_wal(path); }, "length",
+                  "trailing garbage");
+}
+
+TEST(DurabilityFuzz, WalEpochOrderIsEnforced) {
+  // The writer does not police epochs (the engine owns that invariant);
+  // the reader must.
+  const std::string path = fuzz_path("wal-epoch-regress");
+  {
+    durability::WalWriter w = durability::WalWriter::create(path, 0, true);
+    w.append(durability::WalRecord{5, {}, {{0, 1}}});
+    w.append(durability::WalRecord{5, {}, {{1, 2}}});
+    w.close();
+  }
+  expect_io_error([&] { durability::read_wal(path); }, "not after",
+                  "repeated epoch");
+
+  const std::string path2 = fuzz_path("wal-epoch-base");
+  {
+    durability::WalWriter w = durability::WalWriter::create(path2, 7, true);
+    w.append(durability::WalRecord{7, {}, {{0, 1}}});
+    w.close();
+  }
+  expect_io_error([&] { durability::read_wal(path2); }, "not after",
+                  "epoch equals base");
+}
+
+TEST(DurabilityFuzz, CheckpointBitFlipsAndTruncationsFailClosed) {
+  const std::string path = fuzz_path("ckpt-flip") + ".pcg";
+  io::PcgCheckpoint ck;
+  ck.epoch = 9;
+  ck.num_vertices = 6;
+  ck.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}};
+  ck.core = {2, 2, 2, 2, 2, 2};
+  ck.order = {0, 1, 2, 3, 4, 5};
+  io::save_pcg_checkpoint(path, ck, false);
+  const std::vector<unsigned char> full = slurp(path);
+  ASSERT_GT(full.size(), 32u);
+
+  // A single flipped bit anywhere must be caught by a section CRC (or
+  // the magic/length checks) — sample offsets across the whole file.
+  for (std::size_t off :
+       {std::size_t{0}, std::size_t{5}, full.size() / 4, full.size() / 2,
+        3 * full.size() / 4, full.size() - 1}) {
+    std::vector<unsigned char> bad = full;
+    bad[off] ^= 0x08;
+    spit(path, bad);
+    EXPECT_THROW(io::load_pcg_checkpoint(path), io::IoError)
+        << "flip at " << off;
+  }
+
+  // Truncations at any depth fail closed — a checkpoint has no torn
+  // tail concession (the atomic rename means a visible checkpoint was
+  // written completely).
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, full.size() / 2,
+                          full.size() - 1}) {
+    spit(path, {full.begin(), full.begin() + cut});
+    EXPECT_THROW(io::load_pcg_checkpoint(path), io::IoError)
+        << "cut " << cut;
+  }
+
+  spit(path, full);
+  io::PcgCheckpoint back = io::load_pcg_checkpoint(path);  // still intact
+  EXPECT_EQ(back.epoch, 9u);
+  EXPECT_EQ(back.edges.size(), 6u);
+}
+
+TEST(DurabilityFuzz, RecoverFallsBackToOlderGenerationOnCorruption) {
+  const std::string dir = fuzz_path("ckpt-fallback");
+  test::Workload wl = test::make_workload(test::Family::kEr, 40, 0.5, 23);
+  {
+    DynamicGraph g = DynamicGraph::from_edges(wl.n, wl.base);
+    ThreadTeam team(2);
+    engine::StreamingEngine::Options opts;
+    opts.workers = 2;
+    opts.durability.dir = dir;
+    opts.durability.checkpoint_interval = 2;
+    opts.durability.retain = 4;
+    engine::StreamingEngine eng(g, team, opts);
+    // Four flushes -> periodic checkpoints at epochs 2 and 4; no
+    // shutdown checkpoint (nothing logged after epoch 4's).
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t lo = i * wl.batch.size() / 4;
+      const std::size_t hi = (i + 1) * wl.batch.size() / 4;
+      for (std::size_t j = lo; j < hi; ++j)
+        eng.submit_insert(wl.batch[j].u, wl.batch[j].v);
+      eng.flush_now();
+    }
+    eng.stop();
+  }
+  ASSERT_EQ(durability::list_checkpoint_epochs(dir),
+            (std::vector<std::uint64_t>{0, 2, 4}));
+
+  // Corrupt the newest generation's checkpoint; recovery must skip it
+  // and replay generation 2's WAL to the same final epoch.
+  const std::string newest = durability::checkpoint_path(dir, 4);
+  std::vector<unsigned char> bytes = slurp(newest);
+  bytes[bytes.size() / 2] ^= 0x20;
+  spit(newest, bytes);
+
+  DynamicGraph g(1);
+  ThreadTeam team(2);
+  durability::RecoveryResult res;
+  durability::RecoveryOptions opts;
+  opts.dir = dir;
+  opts.workers = 2;
+  auto m = durability::recover(opts, g, team, &res);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(res.checkpoints_skipped, 1u);
+  EXPECT_EQ(res.checkpoint_epoch, 2u);
+  EXPECT_EQ(res.final_epoch, 4u);
+  EXPECT_EQ(res.frames_replayed, 2u);
+  EXPECT_TRUE(res.verified);
+  test::expect_cores_match(g, m->cores(), "fallback generation");
 }
 
 }  // namespace

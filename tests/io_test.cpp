@@ -285,6 +285,43 @@ TEST(Pcg, RejectsOutOfRangeEndpoints) {
   std::remove(path.c_str());
 }
 
+TEST(Pcg, CheckpointRoundTripsAndDegradesToGraph) {
+  io::PcgCheckpoint ck;
+  ck.epoch = 42;
+  ck.num_vertices = 4;
+  ck.edges = {{0, 1}, {1, 2}, {2, 3}};
+  ck.core = {1, 1, 1, 1};
+  ck.order = {3, 2, 1, 0};
+  const std::string path = testing::TempDir() + "/io_ckpt.pcg";
+  io::save_pcg_checkpoint(path, ck, /*sync=*/false);
+
+  // Strict v2 loader round-trips everything.
+  io::PcgCheckpoint back = io::load_pcg_checkpoint(path);
+  EXPECT_EQ(back.epoch, 42u);
+  EXPECT_EQ(back.num_vertices, 4u);
+  EXPECT_EQ(back.edges, ck.edges);
+  EXPECT_EQ(back.core, ck.core);
+  EXPECT_EQ(back.order, ck.order);
+
+  // The generic loader degrades a v2 checkpoint to its graph image, so
+  // `decompose --input checkpoint-N.pcg` and friends keep working.
+  io::GraphData data = io::load_pcg(path);
+  EXPECT_EQ(data.num_vertices, 4u);
+  ASSERT_EQ(data.edges.size(), 3u);
+  EXPECT_EQ(data.edges[1].e, (Edge{1, 2}));
+  EXPECT_FALSE(data.has_timestamps);
+
+  // And the strict loader refuses a v1 graph cache.
+  io::GraphData v1;
+  v1.num_vertices = 2;
+  v1.edges = {{{0, 1}, 0}};
+  const std::string v1path = testing::TempDir() + "/io_ckpt_v1.pcg";
+  io::save_pcg(v1path, v1);
+  expect_io_error([&] { io::load_pcg_checkpoint(v1path); }, "version");
+  std::remove(v1path.c_str());
+  std::remove(path.c_str());
+}
+
 // --------------------------------------------------------------- temporal
 
 TEST(Temporal, FixturePreservesOrderAndKinds) {
@@ -424,6 +461,42 @@ TEST(Cli, UsageErrors) {
   EXPECT_EQ(cli::cli_main({"serve", "--help"}), 0);
   EXPECT_EQ(cli::cli_main(
                 {"decompose", "--input", "/nonexistent/parcore.txt"}),
+            1);
+}
+
+TEST(Cli, EverySubcommandRejectsUnknownOptionsWithExit2) {
+  // The strict-option contract holds for every subcommand, including
+  // the newer ones: an unknown option is a usage error (2), never a
+  // silent ignore or a runtime failure (1).
+  for (const char* cmd :
+       {"decompose", "convert", "maintain", "serve", "recover", "bench",
+        "stats"}) {
+    EXPECT_EQ(cli::cli_main({cmd, "--definitely-not-an-option", "x"}), 2)
+        << cmd;
+    EXPECT_EQ(cli::cli_main({cmd, "--help"}), 0) << cmd;
+  }
+}
+
+TEST(Cli, HelpIsStrictAboutItsArguments) {
+  // `help <command>` prints that command's usage (exit 0); anything it
+  // cannot resolve is a usage error — the pre-durability CLI ignored
+  // extra help arguments and returned 0.
+  for (const char* cmd :
+       {"decompose", "convert", "maintain", "serve", "recover", "bench",
+        "stats"}) {
+    EXPECT_EQ(cli::cli_main({"help", cmd}), 0) << cmd;
+  }
+  EXPECT_EQ(cli::cli_main({"help", "no-such-command"}), 2);
+  EXPECT_EQ(cli::cli_main({"help", "--bogus"}), 2);
+  EXPECT_EQ(cli::cli_main({"help", "serve", "extra"}), 2);
+}
+
+TEST(Cli, RecoverUsageAndMissingDir) {
+  EXPECT_EQ(cli::cli_main({"recover"}), 2);  // missing --dir
+  EXPECT_EQ(cli::cli_main({"recover", "--workers", "abc", "--dir", "x"}), 2);
+  // An empty/nonexistent directory is a runtime failure, not usage.
+  EXPECT_EQ(cli::cli_main({"recover", "--dir",
+                           testing::TempDir() + "/io_no_such_ckpt_dir"}),
             1);
 }
 

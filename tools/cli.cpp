@@ -18,6 +18,7 @@
 #include "decomp/bz.h"
 #include "decomp/core_query.h"
 #include "decomp/park.h"
+#include "durability/recovery.h"
 #include "engine/engine.h"
 #include "gen/generators.h"
 #include "gen/stream_adapter.h"
@@ -61,17 +62,18 @@ commands:
   maintain    sliding-window batch maintenance (parallel/seq/traversal/je)
   serve       drive the streaming engine from a temporal update file
   bench       engine-throughput benchmark on a dataset (emits BENCH_*.json)
+  recover     rebuild state from a serve run's checkpoint + WAL directory
   stats       degree distribution + adjacency memory footprint of a dataset
   convert     transcode a dataset (e.g. edge list -> .pcg binary cache)
-  help        print this text (or '<command> --help' for one command)
+  help        print this text (or 'help <command>' for one command)
 
 Input formats (spec: docs/FORMATS.md): SNAP-style edge lists,
 MatrixMarket .mtx, and the .pcg binary cache; .gz variants of the text
 formats when built with zlib (-DPARCORE_WITH_ZLIB=ON).
 
 Environment knobs (full table: docs/CONFIG.md): PARCORE_ENGINE_* for
-the streaming engine's flush policy, PARCORE_BENCH_* for benchmark
-scale and output.
+the streaming engine's flush policy, PARCORE_WAL_* for durability,
+PARCORE_BENCH_* for benchmark scale and output.
 )";
 
 // ------------------------------------------------------------ arg parsing
@@ -601,8 +603,15 @@ is checked against a fresh bz_decompose unless --no-verify.
   --trace-out FILE  stream one JSON line per flush (the FlushSpan
                   schema: per-phase timings, worker busy/idle/steals;
                   docs/OBSERVABILITY.md)
+  --checkpoint-dir DIR  enable durability (docs/DURABILITY.md): write
+                  epoch checkpoints + an op WAL into DIR. The directory
+                  must not already hold checkpoints; `parcore_cli
+                  recover --dir DIR` rebuilds the state after a crash
+  --checkpoint-interval N  flushes between periodic checkpoints
+                  (default 64; 0 = only the initial/shutdown ones)
 
 Engine flush policy comes from PARCORE_ENGINE_* (docs/CONFIG.md);
+PARCORE_WAL_* sets the same durability knobs environment-wide;
 PARCORE_ENGINE_SNAPSHOT_PAGE sizes the copy-on-write snapshot pages;
 PARCORE_OBS gates metrics recording, PARCORE_OBS_REPORT_MS enables the
 periodic stderr reporter.
@@ -636,6 +645,16 @@ int cmd_serve(const Args& args) {
   if (args.has("workers"))
     opts.workers = static_cast<int>(args.get_positive("workers", opts.workers));
   if (args.has("plan")) opts.maintainer.schedule = ScheduleMode::kPlan;
+  if (args.has("checkpoint-dir"))
+    opts.durability.dir = args.get("checkpoint-dir");
+  if (args.has("checkpoint-interval")) {
+    const long iv = args.get_int("checkpoint-interval", 64);
+    if (iv < 0)
+      throw UsageError("--checkpoint-interval must be >= 0");
+    opts.durability.checkpoint_interval = static_cast<std::size_t>(iv);
+    if (opts.durability.dir.empty())
+      throw UsageError("--checkpoint-interval requires --checkpoint-dir");
+  }
 
   // --trace-out: every flush span as one JSON line. The stream must
   // outlive the engine (the sink runs under the flush lock until stop).
@@ -759,19 +778,23 @@ int cmd_serve(const Args& args) {
   {
     const engine::EngineStats::PhaseTotals& ph = stats.phases;
     const double total_ms =
-        static_cast<double>(ph.drain_us + ph.coalesce_us + ph.plan_us +
-                            ph.apply_us + ph.om_compact_us + ph.publish_us) /
+        static_cast<double>(ph.drain_us + ph.coalesce_us + ph.wal_us +
+                            ph.plan_us + ph.apply_us + ph.om_compact_us +
+                            ph.publish_us + ph.checkpoint_us) /
         1000.0;
     std::printf(
-        "  phases (ms, all flushes): drain %.1f, coalesce %.1f, plan %.1f, "
-        "apply %.1f, om-compact %.1f, publish %.1f (sum %.1f)\n"
+        "  phases (ms, all flushes): drain %.1f, coalesce %.1f, wal %.1f, "
+        "plan %.1f, apply %.1f, om-compact %.1f, publish %.1f, "
+        "checkpoint %.1f (sum %.1f)\n"
         "  workers: busy %.1f ms, idle %.1f ms (%.0f%% utilised)\n",
         static_cast<double>(ph.drain_us) / 1000.0,
         static_cast<double>(ph.coalesce_us) / 1000.0,
+        static_cast<double>(ph.wal_us) / 1000.0,
         static_cast<double>(ph.plan_us) / 1000.0,
         static_cast<double>(ph.apply_us) / 1000.0,
         static_cast<double>(ph.om_compact_us) / 1000.0,
-        static_cast<double>(ph.publish_us) / 1000.0, total_ms,
+        static_cast<double>(ph.publish_us) / 1000.0,
+        static_cast<double>(ph.checkpoint_us) / 1000.0, total_ms,
         static_cast<double>(ph.worker_busy_us) / 1000.0,
         static_cast<double>(ph.worker_idle_us) / 1000.0,
         ph.worker_busy_us + ph.worker_idle_us > 0
@@ -783,6 +806,15 @@ int cmd_serve(const Args& args) {
     std::printf("  trace: %llu spans -> %s (ring retains last %zu)\n",
                 static_cast<unsigned long long>(eng.trace().recorded()),
                 trace_out.c_str(), eng.trace().capacity());
+  if (!opts.durability.dir.empty())
+    std::printf(
+        "  durability: %llu checkpoints, %llu WAL frames (%llu bytes, "
+        "%llu fsyncs) -> %s\n",
+        static_cast<unsigned long long>(stats.durability.checkpoints),
+        static_cast<unsigned long long>(stats.durability.wal_frames),
+        static_cast<unsigned long long>(stats.durability.wal_bytes),
+        static_cast<unsigned long long>(stats.durability.wal_fsyncs),
+        opts.durability.dir.c_str());
   // Arena footprint, OM reclamation, plan/steal counters and the rest
   // of the registry all render through the shared summary exporter —
   // the same bytes serve's /summary endpoint and `stats --live` return.
@@ -809,6 +841,61 @@ int cmd_serve(const Args& args) {
                 "graph (%zu edges)\n",
                 fresh.num_edges());
   }
+  return 0;
+}
+
+// ---------------------------------------------------------------- recover
+
+constexpr const char* kRecoverUsage =
+    R"(usage: parcore_cli recover --dir DIR [options]
+
+Crash recovery (docs/DURABILITY.md): loads the newest valid checkpoint
+from a `serve --checkpoint-dir` directory, replays the WAL tail through
+the normal maintain path, and differentially verifies the recovered
+core numbers against a fresh bz_decompose of the replayed graph.
+
+  --dir DIR      checkpoint + WAL directory written by serve
+  --workers W    maintainer workers for the WAL replay (default 4)
+  --no-verify    skip the bz_decompose cross-check
+
+Exits 0 when recovery succeeds (and, unless --no-verify, the recovered
+cores match the oracle); 1 on unrecoverable corruption or a failed
+verification.
+)";
+
+int cmd_recover(const Args& args) {
+  const std::string dir = args.get("dir");
+  if (dir.empty()) return usage_error(kRecoverUsage, "--dir is required");
+
+  durability::RecoveryOptions ropts;
+  ropts.dir = dir;
+  ropts.workers = static_cast<int>(args.get_positive("workers", 4));
+  ropts.verify = !args.has("no-verify");
+
+  WallTimer timer;
+  DynamicGraph g;
+  ThreadTeam team(std::max(ropts.workers, 1));
+  durability::RecoveryResult res;
+  auto maintainer = durability::recover(ropts, g, team, &res);
+  const double ms = timer.elapsed_ms();
+
+  std::printf(
+      "recovered %s in %.1f ms\n"
+      "  checkpoint epoch %llu (%zu damaged generation%s skipped), "
+      "replayed %zu WAL frame%s (%zu ops)%s\n"
+      "  state: n=%zu m=%zu, max core %d, final epoch %llu\n",
+      dir.c_str(), ms, static_cast<unsigned long long>(res.checkpoint_epoch),
+      res.checkpoints_skipped, res.checkpoints_skipped == 1 ? "" : "s",
+      res.frames_replayed, res.frames_replayed == 1 ? "" : "s",
+      res.edges_replayed,
+      res.torn_tail ? ", torn tail discarded" : "",
+      res.num_vertices, res.num_edges, res.max_core,
+      static_cast<unsigned long long>(res.final_epoch));
+  if (res.verified)
+    std::printf("verified: recovered cores match bz_decompose of the "
+                "replayed graph\n");
+  else
+    std::printf("verification skipped (--no-verify)\n");
   return 0;
 }
 
@@ -916,13 +1003,6 @@ int cli_main(int argc, const char* const* argv) {
 }
 
 int cli_main(const std::vector<std::string>& args) {
-  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
-      args[0] == "-h") {
-    std::fputs(kGlobalUsage, args.empty() ? stderr : stdout);
-    return args.empty() ? 2 : 0;
-  }
-  const std::string& cmd = args[0];
-
   struct Command {
     const char* name;
     const char* usage;
@@ -939,11 +1019,38 @@ int cli_main(const std::vector<std::string>& args) {
        {"verify", "plan"}, cmd_maintain},
       {"serve", kServeUsage,
        {"input", "producers", "readers", "workers", "repeat", "metrics-port",
-        "trace-out"},
+        "trace-out", "checkpoint-dir", "checkpoint-interval"},
        {"no-verify", "plan"}, cmd_serve},
+      {"recover", kRecoverUsage, {"dir", "workers"}, {"no-verify"},
+       cmd_recover},
       {"bench", kBenchUsage, {"input", "name", "ops"}, {"plan"}, cmd_bench},
       {"stats", kStatsUsage, {"input", "live"}, {}, cmd_stats},
   };
+
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    std::fputs(kGlobalUsage, args.empty() ? stderr : stdout);
+    return args.empty() ? 2 : 0;
+  }
+  if (args[0] == "help") {
+    // Strict like every subcommand: `help` alone prints the global
+    // text, `help <command>` that command's usage; anything else is a
+    // usage error (exit 2), never silently ignored.
+    if (args.size() == 1) {
+      std::fputs(kGlobalUsage, stdout);
+      return 0;
+    }
+    if (args.size() == 2) {
+      for (const Command& c : commands) {
+        if (args[1] == c.name) {
+          std::fputs(c.usage, stdout);
+          return 0;
+        }
+      }
+      return usage_error(kGlobalUsage, "unknown command '" + args[1] + "'");
+    }
+    return usage_error(kGlobalUsage, "help takes at most one command name");
+  }
+  const std::string& cmd = args[0];
 
   for (const Command& c : commands) {
     if (cmd != c.name) continue;

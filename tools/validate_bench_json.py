@@ -34,7 +34,20 @@ ROW_FIELDS = {
         "mode", "batch", "epochs", "publish_us_mean", "publish_us_p50",
         "publish_us_p99", "pages_cloned", "read_mqps",
     ],
+    "durability": [
+        "mode", "producers", "workers", "seconds", "updates_per_sec",
+        "epochs", "p99_flush_ms",
+        # Where the overhead lives: the wal/checkpoint slices of the
+        # flush window plus the WAL's physical write totals.
+        "wal_us", "checkpoint_us", "wal_frames", "wal_bytes", "wal_fsyncs",
+        "checkpoints",
+    ],
 }
+
+# Optional off/on overhead cell pairs (bench_engine_throughput emits
+# obs_overhead, bench_durability emits wal_overhead; the CLI's
+# file-driven variants emit neither). Same field triple for both.
+OVERHEAD_OBJECTS = ("obs_overhead", "wal_overhead")
 
 STRING_FIELDS = {"policy", "workload", "mode"}
 
@@ -60,18 +73,18 @@ def validate(path):
     if not isinstance(rows, list) or not rows:
         return fail(path, "missing or empty 'rows'")
 
-    # Optional obs-overhead pair (bench_engine_throughput emits it; the
-    # CLI's file-driven variant does not).
-    overhead = doc.get("obs_overhead")
-    if overhead is not None:
+    for name in OVERHEAD_OBJECTS:
+        overhead = doc.get(name)
+        if overhead is None:
+            continue
         if not isinstance(overhead, dict):
-            return fail(path, "'obs_overhead' is not an object")
+            return fail(path, f"'{name}' is not an object")
         for field in ("off_updates_per_sec", "on_updates_per_sec",
                       "overhead_pct"):
             value = overhead.get(field)
             if not isinstance(value, (int, float)) or (
                     isinstance(value, float) and not math.isfinite(value)):
-                return fail(path, f"obs_overhead field '{field}' not a "
+                return fail(path, f"{name} field '{field}' not a "
                                   f"finite number (got {value!r})")
 
     required = ROW_FIELDS.get(bench, [])
