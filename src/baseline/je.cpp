@@ -4,6 +4,7 @@
 #include <map>
 
 #include "decomp/bz.h"
+#include "obs/metrics.h"
 
 namespace parcore {
 
@@ -356,6 +357,14 @@ std::size_t JeMaintainer::run_rounds(std::span<const Edge> edges,
     std::atomic<std::size_t> done{0};
     const bool sequential_fallback = round > opts_.max_rounds;
     const int round_workers = sequential_fallback ? 1 : workers;
+    // The fallback silently serialises convergence-tail rounds; count
+    // each one so a workload stuck past max_rounds is visible in the
+    // registry instead of just "JE got slow".
+    if (sequential_fallback) {
+      static obs::Counter& fallbacks =
+          obs::registry().counter("parcore_je_sequential_fallbacks");
+      fallbacks.add(1);
+    }
     team_.run(round_workers, [&](int wid) {
       Ctx& ctx = ctxs_[static_cast<std::size_t>(wid)];
       std::size_t local_done = 0;

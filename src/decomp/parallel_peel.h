@@ -1,0 +1,67 @@
+// Parallel bulk core decomposition (DESIGN.md §12): the multi-threaded
+// cold-start path that replaces sequential BZ on engine construction,
+// crash recovery verification and `parcore_cli decompose`.
+//
+// Two modes:
+//   kExact  — level-synchronous frontier peeling (ParK/PKC family, like
+//             decomp/park.h) that ADDITIONALLY records the peel order:
+//             vertices are appended frontier by frontier — (level,
+//             sub-round, vertex id) — which is a valid k-order instance
+//             (proof sketch in DESIGN.md §12.2). Core numbers are
+//             bit-identical to bz_decompose; the order is deterministic
+//             across worker counts and schedules, so differential tests
+//             and restarts see one canonical result.
+//   kApprox — h-index iterative convergence (Lü et al.; the practical
+//             cousin of the (2+ε)-approximate scheme in Liu et al.,
+//             arXiv:2106.03824): core(v) starts at degree(v) and is
+//             repeatedly replaced by H(cores of neighbours) until
+//             fixpoint. Values decrease monotonically and every round
+//             stays a SOUND UPPER BOUND on the true coreness; the
+//             uncapped fixpoint equals it exactly. A round cap
+//             (max_rounds) buys a fast bound for huge graphs — exact
+//             maintenance or a later exact pass trues it up. Jacobi
+//             iteration (reads previous round's array only) keeps the
+//             result deterministic under parallelism. No order is
+//             produced (approx values admit no k-order).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "support/types.h"
+#include "sync/thread_team.h"
+
+namespace parcore {
+
+enum class DecomposeMode { kExact, kApprox };
+
+struct DecomposeOptions {
+  int workers = 4;
+  DecomposeMode mode = DecomposeMode::kExact;
+  /// kApprox only: maximum h-index rounds. 0 = iterate to fixpoint
+  /// (exact coreness); N > 0 stops after N rounds with an upper bound.
+  int max_rounds = 0;
+};
+
+struct BulkDecomposition {
+  std::vector<CoreValue> core;
+  /// kExact: a valid k-order instance (non-decreasing core numbers,
+  /// dout(v) <= core(v) along it) — feedable to
+  /// CoreState::initialize_from_order. Empty in kApprox mode.
+  std::vector<VertexId> order;
+  CoreValue max_core = 0;
+  /// kExact: frontier sub-rounds executed; kApprox: h-index rounds.
+  std::size_t rounds = 0;
+  /// True when `core` is the exact coreness: always for kExact, and for
+  /// kApprox when the iteration reached its fixpoint within max_rounds.
+  bool exact = true;
+};
+
+/// Decomposes `g` on `team` with opts.workers (clamped to the team).
+/// Deterministic for a given (graph, mode, max_rounds) regardless of
+/// worker count.
+BulkDecomposition parallel_decompose(const DynamicGraph& g, ThreadTeam& team,
+                                     const DecomposeOptions& opts);
+
+}  // namespace parcore

@@ -13,12 +13,17 @@
 //      other WAL defect fails closed with IoError — a WAL that lies
 //      about applied ops must never silently yield a wrong core index.
 //   4. Differentially verify the recovered cores against a fresh
-//      bz_decompose of the replayed graph (skippable for speed).
+//      decomposition of the replayed graph (skippable for speed). The
+//      oracle defaults to the parallel exact peel (decomp/
+//      parallel_peel.h) — same accept/reject behavior as BZ, minus the
+//      sequential bottleneck on big graphs; `approx` is the fast tier
+//      (capped h-index upper bound) for when even that is too slow.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "graph/dynamic_graph.h"
 #include "parallel/parallel_order.h"
@@ -26,14 +31,26 @@
 
 namespace parcore::durability {
 
+/// Which oracle the differential verify (step 4) runs.
+///   kBz       — sequential BZ peel (the PR 7 behavior).
+///   kParallel — parallel exact peel on `workers` threads; identical
+///               core numbers, identical accept/reject decisions.
+///   kApprox   — capped h-index iteration: if it converges the compare
+///               is exact; if the cap stops it first the recovered
+///               cores are only checked against the upper bound
+///               (soundness screen, not a proof of equality).
+enum class VerifyAlgo { kBz, kParallel, kApprox };
+
 struct RecoveryOptions {
   std::string dir;
   int workers = 4;
-  /// Differentially verify recovered cores against bz_decompose.
+  /// Differentially verify recovered cores against a fresh
+  /// decomposition (algorithm per verify_algo).
   bool verify = true;
   /// Maintainer options for the recovered instance (the restore image
   /// is supplied by recovery; Options::restore is overwritten).
   ParallelOrderMaintainer::Options maintainer{};
+  VerifyAlgo verify_algo = VerifyAlgo::kParallel;
 };
 
 struct RecoveryResult {
@@ -43,11 +60,33 @@ struct RecoveryResult {
   std::size_t frames_replayed = 0;
   std::size_t edges_replayed = 0;      // ops across all replayed frames
   bool torn_tail = false;              // WAL ended inside a frame
-  bool verified = false;               // bz_decompose cross-check ran + passed
+  bool verified = false;               // differential cross-check ran + passed
   std::size_t num_vertices = 0;
   std::size_t num_edges = 0;
   CoreValue max_core = 0;
+  double verify_ms = 0.0;              // step-4 wall time (0 when skipped)
+  const char* verify_algo = "";        // "bz" | "parallel" | "approx"
+  /// False only for a kApprox verify whose round cap fired: the check
+  /// degraded to the upper-bound screen (see VerifyAlgo).
+  bool verify_exact = true;
 };
+
+/// The step-4 oracle, exposed for direct differential testing: computes
+/// a fresh decomposition of `g` with `algo` and compares `cores`
+/// against it. kBz and kParallel must agree exactly; kApprox accepts
+/// any `cores` elementwise <= its (possibly capped) bound.
+struct VerifyOutcome {
+  bool passed = false;
+  std::size_t mismatches = 0;
+  double ms = 0.0;
+  bool exact = true;          // compare was equality, not bound-only
+  const char* algo = "";
+  std::string first_mismatch;  // diagnostic for the throw message
+};
+VerifyOutcome verify_recovered_cores(const DynamicGraph& g,
+                                     const std::vector<CoreValue>& cores,
+                                     VerifyAlgo algo, ThreadTeam& team,
+                                     int workers);
 
 /// Rebuilds `graph` (overwritten) and returns a maintainer over it
 /// positioned at the recovered state. `graph` and `team` must outlive

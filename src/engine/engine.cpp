@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "decomp/core_query.h"
+#include "decomp/parallel_peel.h"
 #include "obs/export.h"
 #include "support/env.h"
 #include "support/timer.h"
@@ -43,6 +44,12 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
   obs_.flush_us = &reg.histogram("parcore_flush_us");
   obs_.batch_size = &reg.histogram("parcore_flush_batch_size");
   obs_.publish_us = &reg.histogram("parcore_publish_us");
+  obs_.engine_init_us = &reg.histogram("parcore_engine_init_us");
+  if (opts_.reverify_interval_ms > 0.0) {
+    obs_.verify_runs = &reg.counter("parcore_verify_runs_total");
+    obs_.verify_mismatches = &reg.counter("parcore_verify_mismatches_total");
+    obs_.verify_us = &reg.histogram("parcore_verify_us");
+  }
 
   // Epoch 0: the initial decomposition, the index's one full O(n)
   // build. Every later epoch is a COW delta on top of it.
@@ -67,6 +74,13 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
     std::lock_guard<std::mutex> lk(stats_mu_);
     stats_.durability = durability_->totals();
   }
+
+  // Cold-start cost, end to end: initial decomposition (sequential BZ
+  // or the parallel peel, per Options::maintainer.init_workers) through
+  // epoch-0 publish and the initial checkpoint. init_timer_ is declared
+  // before maintainer_ precisely so this covers the decomposition.
+  stats_.engine_init_us = init_timer_.elapsed_us();
+  obs_.engine_init_us->record(stats_.engine_init_us);
 }
 
 StreamingEngine::~StreamingEngine() { stop(); }
@@ -75,18 +89,23 @@ void StreamingEngine::start() {
   if (running_) return;
   notifier_.reset();  // clear a previous stop(): start/stop can cycle
   reporter_notifier_.reset();
+  reverify_notifier_.reset();
   running_ = true;
   scheduler_ = std::thread([this] { scheduler_loop(); });
   if (opts_.report_interval_ms > 0.0)
     reporter_ = std::thread([this] { reporter_loop(); });
+  if (opts_.reverify_interval_ms > 0.0)
+    reverifier_ = std::thread([this] { reverifier_loop(); });
 }
 
 void StreamingEngine::stop() {
   if (running_) {
     notifier_.request_stop();
     reporter_notifier_.request_stop();
+    reverify_notifier_.request_stop();
     scheduler_.join();
     if (reporter_.joinable()) reporter_.join();
+    if (reverifier_.joinable()) reverifier_.join();
     running_ = false;
   }
   // Final drain on the caller's thread: catches updates submitted after
@@ -156,6 +175,58 @@ void StreamingEngine::reporter_loop() {
     if (!summary.empty())
       std::fprintf(stderr, "[parcore obs] epoch=%llu\n%s",
                    static_cast<unsigned long long>(epoch()), summary.c_str());
+  }
+}
+
+void StreamingEngine::reverifier_loop() {
+  const auto interval =
+      std::chrono::duration<double, std::milli>(opts_.reverify_interval_ms);
+  // Private team: ThreadTeam::run is single-dispatcher, and the flush
+  // path owns the engine's team — the re-verifier must never contend
+  // for it (that would stall flushes for the length of a full
+  // decomposition, the opposite of "background").
+  const int workers = std::max(1, opts_.workers);
+  ThreadTeam team(workers);
+  for (;;) {
+    reverify_notifier_.wait_for(interval);
+    if (reverify_notifier_.stop_requested()) return;
+
+    // A consistent (graph, snapshot) pair: the graph only mutates under
+    // flush_mu_ and every flush publishes before releasing it, so a
+    // copy taken under the lock matches the latest snapshot exactly.
+    std::unique_ptr<DynamicGraph> copy;
+    std::shared_ptr<const EngineSnapshot> at;
+    {
+      std::lock_guard<std::mutex> lk(flush_mu_);
+      copy = std::make_unique<DynamicGraph>(graph_);
+      at = snapshot();
+    }
+
+    WallTimer timer;
+    DecomposeOptions dopts;
+    dopts.workers = workers;
+    dopts.mode = DecomposeMode::kExact;
+    const BulkDecomposition truth = parallel_decompose(*copy, team, dopts);
+    std::size_t mismatches = 0;
+    const std::size_t n = std::min<std::size_t>(truth.core.size(),
+                                                at->num_vertices());
+    for (VertexId v = 0; v < n; ++v)
+      if (at->core(v) != truth.core[v]) ++mismatches;
+    const std::uint64_t us = timer.elapsed_us();
+
+    if (obs_.verify_runs != nullptr) {
+      obs_.verify_runs->add(1);
+      obs_.verify_mismatches->add(mismatches);
+      obs_.verify_us->record(us);
+    }
+    if (mismatches > 0)
+      std::fprintf(stderr,
+                   "[parcore verify] epoch=%llu: %zu cores diverge from "
+                   "full recompute\n",
+                   static_cast<unsigned long long>(at->epoch), mismatches);
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.verify_runs;
+    stats_.verify_mismatches += mismatches;
   }
 }
 
@@ -482,6 +553,15 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
       1L, 1L << 20));
   base.report_interval_ms = std::max(
       env_double("PARCORE_OBS_REPORT_MS", base.report_interval_ms), 0.0);
+  base.reverify_interval_ms = std::max(
+      env_double("PARCORE_SERVE_REVERIFY_MS", base.reverify_interval_ms),
+      0.0);
+  // Cold start: > 0 runs the initial decomposition through the bulk
+  // parallel peel with this many workers (docs/CONFIG.md).
+  base.maintainer.init_workers = static_cast<int>(std::clamp(
+      env_int("PARCORE_DECOMPOSE_WORKERS",
+              static_cast<long>(base.maintainer.init_workers)),
+      0L, 1024L));
   // The index clamps to [64, 1M] and rounds up to a power of two.
   base.snapshot_page = static_cast<std::size_t>(std::max(
       env_int("PARCORE_ENGINE_SNAPSHOT_PAGE",

@@ -42,6 +42,7 @@
 #include "parallel/parallel_order.h"
 #include "query/versioned_cores.h"
 #include "support/histogram.h"
+#include "support/timer.h"
 #include "support/types.h"
 #include "sync/notify.h"
 #include "sync/spinlock.h"
@@ -149,6 +150,17 @@ struct EngineStats {
   /// publish wall time. publish_us is the number the paged index
   /// keeps O(|V*|): it must track batch size, not n.
   std::uint64_t snapshot_pages_cloned = 0;
+  /// Constructor wall time, microseconds: initial decomposition +
+  /// epoch-0 publish (+ initial checkpoint when durability is on). Also
+  /// recorded into the registry histogram `parcore_engine_init_us`, so
+  /// the shared summary renderer reports the cold-start cost.
+  std::uint64_t engine_init_us = 0;
+  /// Background re-verifier accounting (Options::reverify_interval_ms):
+  /// full off-thread recomputes completed, and vertices whose live
+  /// CoreView core disagreed with the recompute (must stay 0 — any
+  /// mismatch is a maintenance bug caught in production).
+  std::uint64_t verify_runs = 0;
+  std::uint64_t verify_mismatches = 0;
   SizeHistogram publish_us{1u << 14};  // per-epoch publish time, µs
   // Exact-bucket sizes bound the per-engine footprint (~0.5 MB) and the
   // stats() copy cost: flushes beyond 65.5 ms land in the overflow
@@ -195,6 +207,14 @@ class StreamingEngine {
     /// the metrics summary (obs::human_summary of the global registry)
     /// to stderr every interval. 0 disables it.
     double report_interval_ms = 0.0;
+    /// > 0 spawns a background re-verifier alongside the scheduler:
+    /// every interval it copies the graph at a flush boundary, runs a
+    /// full parallel exact decomposition off-thread (own ThreadTeam —
+    /// never contends with flush dispatch) and compares against the
+    /// live CoreView of the same epoch, reporting runs/mismatches/
+    /// timing as parcore_verify_* through the metrics registry. 0
+    /// disables it. (`serve --reverify MS` / PARCORE_SERVE_REVERIFY_MS.)
+    double reverify_interval_ms = 0.0;
     /// Durability (docs/DURABILITY.md): a non-empty `durability.dir`
     /// enables epoch checkpointing + the op WAL. The constructor writes
     /// the initial checkpoint (epoch 0), every flush appends its
@@ -274,6 +294,7 @@ class StreamingEngine {
  private:
   void scheduler_loop();
   void reporter_loop();
+  void reverifier_loop();
   std::uint64_t flush_locked();  // requires flush_mu_
   /// Wraps an already-published view into the snapshot for `epoch`
   /// (requires flush_mu_), adding max core / edge count / the optional
@@ -288,6 +309,11 @@ class StreamingEngine {
 
   DynamicGraph& graph_;
   Options opts_;
+  // Declared before maintainer_ so construction order starts the clock
+  // before the initial decomposition — engine_init_us measures the
+  // whole cold start, which is exactly what the parallel init path is
+  // supposed to shrink.
+  WallTimer init_timer_;
   ParallelOrderMaintainer maintainer_;
   IngestQueue queue_;
   Notifier notifier_;
@@ -299,6 +325,8 @@ class StreamingEngine {
   std::thread scheduler_;
   std::thread reporter_;
   Notifier reporter_notifier_;
+  std::thread reverifier_;
+  Notifier reverify_notifier_;
   bool running_ = false;
 
   // Serialises flushes (scheduler vs flush_now) — the maintainer runs
@@ -345,6 +373,10 @@ class StreamingEngine {
     obs::Histogram* flush_us = nullptr;
     obs::Histogram* batch_size = nullptr;
     obs::Histogram* publish_us = nullptr;
+    obs::Histogram* engine_init_us = nullptr;
+    obs::Counter* verify_runs = nullptr;
+    obs::Counter* verify_mismatches = nullptr;
+    obs::Histogram* verify_us = nullptr;
   };
   ObsHandles obs_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "decomp/parallel_peel.h"
 #include "decomp/verify.h"
 #include "sync/backoff.h"
 
@@ -96,6 +97,53 @@ void CoreState::initialize(const DynamicGraph& g, const Options& opts) {
     dout_[v].store(out, std::memory_order_relaxed);
     mcd_[v].store(m, std::memory_order_relaxed);
   }
+}
+
+void CoreState::initialize_parallel(const DynamicGraph& g, ThreadTeam& team,
+                                    int workers, const Options& opts) {
+  allocate(g.num_vertices());
+
+  DecomposeOptions dopts;
+  dopts.workers = workers;
+  dopts.mode = DecomposeMode::kExact;
+  BulkDecomposition d = parallel_decompose(g, team, dopts);
+  max_core_.store(d.max_core, std::memory_order_relaxed);
+
+  levels_.clear();
+  levels_.configure(opts.om_group_capacity);
+  levels_.ensure_capacity(static_cast<std::size_t>(d.max_core) + 2);
+
+  std::vector<std::size_t> rank(n_);
+  for (std::size_t i = 0; i < d.order.size(); ++i) rank[d.order[i]] = i;
+
+  parallel_for(team, workers, 0, n_, [&](std::size_t i) {
+    const auto v = static_cast<VertexId>(i);
+    core_[v].store(d.core[v], std::memory_order_relaxed);
+    t_[v].store(0, std::memory_order_relaxed);
+    s_[v].store(0, std::memory_order_relaxed);
+    items_[v].vertex = v;
+  });
+
+  // The O_k appends mutate shared OM groups; they stay sequential (the
+  // peel order is already level-ascending, so each list receives its
+  // vertices in k-order, exactly like the BZ path).
+  for (VertexId v : d.order) {
+    OrderList& list = levels_.get_or_create(d.core[v]);
+    list.insert_tail(&items_[v]);
+  }
+
+  // d+out / mcd are per-vertex reductions over read-only state; the
+  // O(m) pass is the second-largest cold-start cost after the peel.
+  parallel_for(team, workers, 0, n_, [&](std::size_t i) {
+    const auto v = static_cast<VertexId>(i);
+    CoreValue out = 0, m = 0;
+    for (VertexId u : g.neighbors(v)) {
+      if (rank[u] > rank[v]) ++out;
+      if (d.core[u] >= d.core[v]) ++m;
+    }
+    dout_[v].store(out, std::memory_order_relaxed);
+    mcd_[v].store(m, std::memory_order_relaxed);
+  });
 }
 
 bool CoreState::initialize_from_order(const DynamicGraph& g,

@@ -29,7 +29,11 @@ ParallelOrderMaintainer::ParallelOrderMaintainer(DynamicGraph& g,
 }
 
 void ParallelOrderMaintainer::rebuild() {
-  state_.initialize(graph_, opts_.state);
+  if (opts_.init_workers > 0)
+    state_.initialize_parallel(graph_, team_, opts_.init_workers,
+                               opts_.state);
+  else
+    state_.initialize(graph_, opts_.state);
   mark_.assign(graph_.num_vertices(), 0);
   epoch_ = 0;
   changed_mark_.assign(graph_.num_vertices(), 0);

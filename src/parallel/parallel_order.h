@@ -64,6 +64,12 @@ class ParallelOrderMaintainer {
     /// pointer is not retained); the image must match the graph or the
     /// constructor throws. rebuild() always re-decomposes from scratch.
     const SavedCoreOrder* restore = nullptr;
+    /// > 0: rebuild() (and the non-restore constructor) runs the bulk
+    /// parallel decomposition (decomp/parallel_peel.h, exact mode) with
+    /// this many workers instead of sequential BZ — the cold-start
+    /// path. 0 keeps the BZ peel. Both produce valid k-order instances;
+    /// they just pick different (deterministic) ones.
+    int init_workers = 0;
   };
 
   /// Mutates `g`; both `g` and `team` must outlive the maintainer.

@@ -17,6 +17,7 @@
 
 #include "decomp/bz.h"
 #include "decomp/core_query.h"
+#include "decomp/parallel_peel.h"
 #include "decomp/park.h"
 #include "durability/recovery.h"
 #include "engine/engine.h"
@@ -33,6 +34,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/env.h"
 #include "support/timer.h"
 
 #ifdef PARCORE_HAVE_ZLIB
@@ -206,8 +208,13 @@ constexpr const char* kDecomposeUsage =
 Static core decomposition with a load/decompose time breakdown.
 
   --input FILE   dataset (edge list / .mtx / .pcg; docs/FORMATS.md)
-  --algo NAME    bz (sequential, default) or park (parallel)
-  --workers N    ParK worker threads (default 8)
+  --algo NAME    bz (sequential, default), park (parallel, cores only),
+                 parallel (parallel exact peel, also derives a k-order)
+                 or approx (h-index iteration; --max-rounds caps it to
+                 a fast upper bound, 0 iterates to the exact fixpoint)
+  --workers N    worker threads for park/parallel/approx (default 8,
+                 or PARCORE_DECOMPOSE_WORKERS when set)
+  --max-rounds N approx round cap (default 0 = run to fixpoint)
   --top K        print the K highest-coreness vertices (original ids)
   --histogram    print the core-value distribution
 )";
@@ -216,7 +223,8 @@ int cmd_decompose(const Args& args) {
   const std::string input = args.get("input");
   if (input.empty()) return usage_error(kDecomposeUsage, "--input is required");
   const std::string algo = args.get("algo", "bz");
-  if (algo != "bz" && algo != "park")
+  if (algo != "bz" && algo != "park" && algo != "parallel" &&
+      algo != "approx")
     return usage_error(kDecomposeUsage, "unknown --algo '" + algo + "'");
 
   WallTimer load_timer;
@@ -225,19 +233,34 @@ int cmd_decompose(const Args& args) {
   print_load_summary(input, data, load_ms);
 
   DynamicGraph g = io::to_dynamic_graph(data);
+  const int workers = static_cast<int>(args.get_positive(
+      "workers", std::max(env_int("PARCORE_DECOMPOSE_WORKERS", 8), 1L)));
   WallTimer decomp_timer;
   std::vector<CoreValue> cores;
+  std::string note;
   if (algo == "park") {
-    const int workers = static_cast<int>(args.get_positive("workers", 8));
     ThreadTeam team(workers);
     cores = park_decompose(g, team, workers);
+  } else if (algo == "parallel" || algo == "approx") {
+    ThreadTeam team(workers);
+    DecomposeOptions dopts;
+    dopts.workers = workers;
+    dopts.mode =
+        algo == "approx" ? DecomposeMode::kApprox : DecomposeMode::kExact;
+    dopts.max_rounds = static_cast<int>(args.get_int("max-rounds", 0));
+    const BulkDecomposition bd = parallel_decompose(g, team, dopts);
+    cores = bd.core;
+    note = " (" + std::to_string(workers) + " workers, " +
+           std::to_string(bd.rounds) + " rounds" +
+           (bd.exact ? "" : ", capped: upper bound only") + ")";
   } else {
     cores = bz_decompose(g).core;
   }
   const double decomp_ms = decomp_timer.elapsed_ms();
 
   CoreSummary summary = summarize_cores(cores);
-  std::printf("%s decomposition: %.1f ms\n", algo.c_str(), decomp_ms);
+  std::printf("%s decomposition: %.1f ms%s\n", algo.c_str(), decomp_ms,
+              note.c_str());
   std::printf("max core = %d, degeneracy core size = %zu, avg degree = %.2f\n",
               summary.max_core, summary.degeneracy_core_size,
               g.average_degree());
@@ -609,6 +632,12 @@ is checked against a fresh bz_decompose unless --no-verify.
                   recover --dir DIR` rebuilds the state after a crash
   --checkpoint-interval N  flushes between periodic checkpoints
                   (default 64; 0 = only the initial/shutdown ones)
+  --reverify MS   background re-verifier: every MS milliseconds a spare
+                  thread recomputes the full decomposition (parallel
+                  exact peel) on a consistent graph copy and diffs it
+                  against the live snapshot; mismatches are counted in
+                  parcore_verify_mismatches_total and logged (0 = off;
+                  PARCORE_SERVE_REVERIFY_MS sets the same knob)
 
 Engine flush policy comes from PARCORE_ENGINE_* (docs/CONFIG.md);
 PARCORE_WAL_* sets the same durability knobs environment-wide;
@@ -654,6 +683,11 @@ int cmd_serve(const Args& args) {
     opts.durability.checkpoint_interval = static_cast<std::size_t>(iv);
     if (opts.durability.dir.empty())
       throw UsageError("--checkpoint-interval requires --checkpoint-dir");
+  }
+  if (args.has("reverify")) {
+    const long ms = args.get_int("reverify", 0);
+    if (ms < 0) throw UsageError("--reverify must be >= 0");
+    opts.reverify_interval_ms = static_cast<double>(ms);
   }
 
   // --trace-out: every flush span as one JSON line. The stream must
@@ -815,6 +849,11 @@ int cmd_serve(const Args& args) {
         static_cast<unsigned long long>(stats.durability.wal_bytes),
         static_cast<unsigned long long>(stats.durability.wal_fsyncs),
         opts.durability.dir.c_str());
+  if (opts.reverify_interval_ms > 0.0)
+    std::printf("  re-verify: %llu full decompositions, %llu mismatched "
+                "cores\n",
+                static_cast<unsigned long long>(stats.verify_runs),
+                static_cast<unsigned long long>(stats.verify_mismatches));
   // Arena footprint, OM reclamation, plan/steal counters and the rest
   // of the registry all render through the shared summary exporter —
   // the same bytes serve's /summary endpoint and `stats --live` return.
@@ -852,15 +891,20 @@ constexpr const char* kRecoverUsage =
 Crash recovery (docs/DURABILITY.md): loads the newest valid checkpoint
 from a `serve --checkpoint-dir` directory, replays the WAL tail through
 the normal maintain path, and differentially verifies the recovered
-core numbers against a fresh bz_decompose of the replayed graph.
+core numbers against a fresh decomposition of the replayed graph.
 
   --dir DIR      checkpoint + WAL directory written by serve
-  --workers W    maintainer workers for the WAL replay (default 4)
-  --no-verify    skip the bz_decompose cross-check
+  --workers W    maintainer workers for the WAL replay, also used by the
+                 parallel verify oracles (default 4)
+  --verify MODE  verify oracle: parallel (exact peel, default), bz
+                 (sequential), approx (capped h-index upper-bound
+                 screen), or off. PARCORE_DECOMPOSE_MODE sets the
+                 default; --no-verify is shorthand for --verify off
+  --no-verify    skip the cross-check entirely
 
-Exits 0 when recovery succeeds (and, unless --no-verify, the recovered
-cores match the oracle); 1 on unrecoverable corruption or a failed
-verification.
+Exits 0 when recovery succeeds (and, unless the verify is off, the
+recovered cores match the oracle); 1 on unrecoverable corruption or a
+failed verification.
 )";
 
 int cmd_recover(const Args& args) {
@@ -871,6 +915,19 @@ int cmd_recover(const Args& args) {
   ropts.dir = dir;
   ropts.workers = static_cast<int>(args.get_positive("workers", 4));
   ropts.verify = !args.has("no-verify");
+  const std::string verify_mode =
+      args.get("verify", env_str("PARCORE_DECOMPOSE_MODE", "parallel"));
+  if (verify_mode == "off")
+    ropts.verify = false;
+  else if (verify_mode == "bz")
+    ropts.verify_algo = durability::VerifyAlgo::kBz;
+  else if (verify_mode == "parallel")
+    ropts.verify_algo = durability::VerifyAlgo::kParallel;
+  else if (verify_mode == "approx")
+    ropts.verify_algo = durability::VerifyAlgo::kApprox;
+  else
+    return usage_error(kRecoverUsage,
+                       "unknown --verify mode '" + verify_mode + "'");
 
   WallTimer timer;
   DynamicGraph g;
@@ -892,10 +949,13 @@ int cmd_recover(const Args& args) {
       res.num_vertices, res.num_edges, res.max_core,
       static_cast<unsigned long long>(res.final_epoch));
   if (res.verified)
-    std::printf("verified: recovered cores match bz_decompose of the "
-                "replayed graph\n");
+    std::printf("verified: recovered cores match a fresh %s decomposition "
+                "of the replayed graph%s (%.1f ms)\n",
+                res.verify_algo,
+                res.verify_exact ? "" : " (upper-bound screen only)",
+                res.verify_ms);
   else
-    std::printf("verification skipped (--no-verify)\n");
+    std::printf("verification skipped (--verify off)\n");
   return 0;
 }
 
@@ -1012,16 +1072,17 @@ int cli_main(const std::vector<std::string>& args) {
   };
   static const std::vector<Command> commands{
       {"decompose", kDecomposeUsage,
-       {"input", "algo", "workers", "top"}, {"histogram"}, cmd_decompose},
+       {"input", "algo", "workers", "max-rounds", "top"}, {"histogram"},
+       cmd_decompose},
       {"convert", kConvertUsage, {"input", "output"}, {}, cmd_convert},
       {"maintain", kMaintainUsage,
        {"input", "algo", "window", "batch", "workers", "steps"},
        {"verify", "plan"}, cmd_maintain},
       {"serve", kServeUsage,
        {"input", "producers", "readers", "workers", "repeat", "metrics-port",
-        "trace-out", "checkpoint-dir", "checkpoint-interval"},
+        "trace-out", "checkpoint-dir", "checkpoint-interval", "reverify"},
        {"no-verify", "plan"}, cmd_serve},
-      {"recover", kRecoverUsage, {"dir", "workers"}, {"no-verify"},
+      {"recover", kRecoverUsage, {"dir", "workers", "verify"}, {"no-verify"},
        cmd_recover},
       {"bench", kBenchUsage, {"input", "name", "ops"}, {"plan"}, cmd_bench},
       {"stats", kStatsUsage, {"input", "live"}, {}, cmd_stats},
