@@ -1,0 +1,68 @@
+#include "durability/faults.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+
+namespace parcore::durability {
+namespace {
+
+// Same read-the-environment-every-call policy as crash.cpp: fault
+// points fire at flush cadence, and tests (in-process here, not
+// fork-based) flip the variables between scenarios.
+const char* fail_at() {
+  const char* at = std::getenv("PARCORE_DURABILITY_FAIL_AT");
+  return (at != nullptr && *at != '\0') ? at : nullptr;
+}
+
+int env_positive(const char* name, int fallback) {
+  if (const char* raw = std::getenv(name)) {
+    const int v = std::atoi(raw);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+int fail_errno() {
+  const char* raw = std::getenv("PARCORE_DURABILITY_FAIL_ERRNO");
+  if (raw == nullptr || *raw == '\0') return ENOSPC;
+  if (std::strcmp(raw, "enospc") == 0) return ENOSPC;
+  if (std::strcmp(raw, "eio") == 0) return EIO;
+  const int v = std::atoi(raw);
+  return v > 0 ? v : ENOSPC;
+}
+
+// Hits of the armed point so far; one global counter is enough because
+// at most one point name is armed per process (same as crash.cpp).
+std::atomic<int> g_hits{0};
+
+// Is hit number `hit` (1-based) inside the failing window?
+bool hit_fails(int hit) {
+  const int after = env_positive("PARCORE_DURABILITY_FAIL_AFTER", 1);
+  if (hit < after) return false;
+  const int count = env_positive("PARCORE_DURABILITY_FAIL_COUNT", 0);
+  return count == 0 || hit < after + count;
+}
+
+}  // namespace
+
+int fail_point(const char* name) {
+  const char* at = fail_at();
+  if (at == nullptr || std::strcmp(at, name) != 0) return 0;
+  const int hit = g_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  return hit_fails(hit) ? fail_errno() : 0;
+}
+
+bool fail_point_armed(const char* name) {
+  const char* at = fail_at();
+  if (at == nullptr || std::strcmp(at, name) != 0) return false;
+  return hit_fails(g_hits.load(std::memory_order_relaxed) + 1);
+}
+
+void reset_fail_points_for_test() {
+  g_hits.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace parcore::durability

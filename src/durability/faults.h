@@ -1,0 +1,48 @@
+// I/O fault-injection points for the robustness test harness
+// (docs/ROBUSTNESS.md). Error-returning sibling of the crash kill
+// points in durability/crash.h: where crash_point(name) kills the
+// process to test recovery, fail_point(name) makes the surrounding
+// syscall FAIL (throw io::IoError with an injected errno) to test that
+// the serving path survives — retries transient errors, truncates torn
+// frames, degrades to memory-only under persistent failure — instead
+// of terminating.
+//
+// Environment:
+//   PARCORE_DURABILITY_FAIL_AT     point name to arm (see list below)
+//   PARCORE_DURABILITY_FAIL_AFTER  Nth hit that starts failing (default 1)
+//   PARCORE_DURABILITY_FAIL_COUNT  consecutive failing hits; 0 = every
+//                                  hit from AFTER on fails (persistent;
+//                                  default). 1 models a transient blip
+//                                  the retry loop should absorb.
+//   PARCORE_DURABILITY_FAIL_ERRNO  "enospc" (default), "eio", or a
+//                                  numeric errno value
+#pragma once
+
+namespace parcore::durability {
+
+/// Fail-point names accepted by PARCORE_DURABILITY_FAIL_AT:
+///   wal-append         frame write fails before any byte reaches disk
+///   wal-append-short   half the frame reaches the file, then the write
+///                      fails (exercises truncate-to-last-good-frame)
+///   wal-fsync          the per-flush group fsync fails
+///   wal-create         creating the next WAL segment fails
+///   checkpoint-write   writing the checkpoint tmp file fails
+///   checkpoint-rename  the atomic rename commit fails
+///
+/// Returns the errno to inject when `name` is armed and this hit is in
+/// the failing window, 0 otherwise. Each call counts as one hit of the
+/// armed point. Cheap when the env var is unset (one getenv per call,
+/// same policy as crash_point — the fault points fire at flush cadence,
+/// not per edge).
+int fail_point(const char* name);
+
+/// True when the NEXT hit of `name` would fail — the WAL writer uses
+/// this to stage the half-written frame before throwing.
+bool fail_point_armed(const char* name);
+
+/// Test-only: reset the hit counter so in-process tests can arm
+/// several scenarios in sequence (the fork-based crash tests never
+/// need this — each child process starts at zero).
+void reset_fail_points_for_test();
+
+}  // namespace parcore::durability

@@ -13,6 +13,7 @@
 #include <system_error>
 
 #include "durability/crash.h"
+#include "durability/faults.h"
 #include "io/io_error.h"
 
 namespace parcore::durability {
@@ -102,6 +103,7 @@ Manager::Manager(Options opts) : opts_(std::move(opts)) {
   obs_.wal_frames = &reg.counter("parcore_wal_frames_total");
   obs_.wal_bytes = &reg.counter("parcore_wal_bytes_total");
   obs_.wal_fsyncs = &reg.counter("parcore_wal_fsync_total");
+  obs_.wal_truncate_repairs = &reg.counter("parcore_wal_truncate_repairs_total");
   obs_.checkpoint_us = &reg.histogram("parcore_checkpoint_us");
 }
 
@@ -110,37 +112,64 @@ void Manager::checkpoint(const io::PcgCheckpoint& ck) {
   const std::string final_path = checkpoint_path(opts_.dir, ck.epoch);
   const std::string tmp_path = final_path + ".tmp";
 
-  // 1. Full image to a temp name; never visible to recovery scans.
-  io::save_pcg_checkpoint(tmp_path, ck, opts_.fsync);
-  if (crash_point_armed("checkpoint-mid-write")) {
-    // Stage the artifact of dying mid-write: a half-length tmp file.
-    std::error_code ec;
-    const std::uintmax_t size = fs::file_size(tmp_path, ec);
-    if (!ec) {
-      if (::truncate(tmp_path.c_str(), static_cast<::off_t>(size / 2)) != 0) {
-        // Staging failure must not mask the injection; die anyway.
+  WalWriter next;
+  bool renamed = false;
+  try {
+    // 1. Full image to a temp name; never visible to recovery scans.
+    if (const int err = fail_point("checkpoint-write"))
+      throw IoError(tmp_path, 0,
+                    std::string("write checkpoint failed: ") +
+                        std::strerror(err) + " (injected)");
+    io::save_pcg_checkpoint(tmp_path, ck, opts_.fsync);
+    if (crash_point_armed("checkpoint-mid-write")) {
+      // Stage the artifact of dying mid-write: a half-length tmp file.
+      std::error_code ec;
+      const std::uintmax_t size = fs::file_size(tmp_path, ec);
+      if (!ec) {
+        if (::truncate(tmp_path.c_str(), static_cast<::off_t>(size / 2)) !=
+            0) {
+          // Staging failure must not mask the injection; die anyway.
+        }
       }
     }
+    crash_point("checkpoint-mid-write");
+
+    // 2. The new generation's WAL, durable BEFORE the commit point so a
+    // visible checkpoint always has its (possibly empty) WAL beside it.
+    next = WalWriter::create(wal_path(opts_.dir, ck.epoch), ck.epoch,
+                             opts_.fsync);
+    totals_.wal_bytes += next.bytes_appended();
+    totals_.wal_fsyncs += next.fsyncs();
+    obs_.wal_bytes->add(next.bytes_appended());
+    obs_.wal_fsyncs->add(next.fsyncs());
+    crash_point("checkpoint-pre-rename");
+
+    // 3. Commit point.
+    if (const int err = fail_point("checkpoint-rename"))
+      throw IoError(final_path, 0,
+                    std::string("checkpoint rename failed: ") +
+                        std::strerror(err) + " (injected)");
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+      throw IoError(final_path, 0,
+                    std::string("checkpoint rename failed: ") +
+                        std::strerror(errno));
+    renamed = true;
+    if (opts_.fsync) fsync_dir(opts_.dir);
+    crash_point("checkpoint-post-rename");
+  } catch (...) {
+    if (!renamed) {
+      // Nothing committed: remove this generation's partial artifacts
+      // so the directory stays exactly the previous generation, and
+      // keep appending to the still-open previous WAL. (After a
+      // successful rename the new generation is valid on disk even if
+      // the directory fsync failed — leave it for recovery to pick.)
+      next.close();
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      fs::remove(wal_path(opts_.dir, ck.epoch), ec);
+    }
+    throw;
   }
-  crash_point("checkpoint-mid-write");
-
-  // 2. The new generation's WAL, durable BEFORE the commit point so a
-  // visible checkpoint always has its (possibly empty) WAL beside it.
-  WalWriter next =
-      WalWriter::create(wal_path(opts_.dir, ck.epoch), ck.epoch, opts_.fsync);
-  totals_.wal_bytes += next.bytes_appended();
-  totals_.wal_fsyncs += next.fsyncs();
-  obs_.wal_bytes->add(next.bytes_appended());
-  obs_.wal_fsyncs->add(next.fsyncs());
-  crash_point("checkpoint-pre-rename");
-
-  // 3. Commit point.
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0)
-    throw IoError(final_path, 0,
-                  std::string("checkpoint rename failed: ") +
-                      std::strerror(errno));
-  if (opts_.fsync) fsync_dir(opts_.dir);
-  crash_point("checkpoint-post-rename");
 
   wal_ = std::move(next);  // closes the previous WAL fd
   last_checkpoint_epoch_ = ck.epoch;
@@ -162,11 +191,26 @@ void Manager::log_flush(const WalRecord& rec) {
   if (!wal_.is_open())
     throw IoError(opts_.dir, 0,
                   "log_flush before the initial checkpoint opened a WAL");
-  ++flushes_since_checkpoint_;
-  if (rec.removes.empty() && rec.inserts.empty()) return;
+  if (rec.removes.empty() && rec.inserts.empty()) {
+    ++flushes_since_checkpoint_;
+    return;
+  }
   const std::uint64_t b0 = wal_.bytes_appended();
   const std::uint64_t f0 = wal_.fsyncs();
-  wal_.append(rec);
+  const std::uint64_t tr0 = wal_.truncate_repairs();
+  try {
+    wal_.append(rec);
+  } catch (...) {
+    // The append rolled the file back (or closed the writer); surface
+    // the repair in the totals, then let the engine's retry/degrade
+    // wrapper handle the error. The flush is NOT counted toward the
+    // checkpoint cadence so a retried append doesn't double-count it.
+    const std::uint64_t repairs = wal_.truncate_repairs() - tr0;
+    totals_.wal_truncate_repairs += repairs;
+    obs_.wal_truncate_repairs->add(repairs);
+    throw;
+  }
+  ++flushes_since_checkpoint_;
   ++frames_since_checkpoint_;
   ++totals_.wal_frames;
   totals_.wal_bytes += wal_.bytes_appended() - b0;

@@ -57,6 +57,17 @@ class Manager {
     bool fsync = true;
     /// Checkpoint generations kept (>= 1): the live one plus fallbacks.
     std::size_t retain = 2;
+    /// Fault-tolerance policy, consumed by the ENGINE's durable-I/O
+    /// wrapper (docs/ROBUSTNESS.md), carried here so one Options struct
+    /// configures the whole durability surface.
+    /// Retries per failed WAL/checkpoint operation before the engine
+    /// degrades to memory-only mode.
+    int max_retries = 3;
+    /// Base backoff between retries; doubles per attempt.
+    double retry_backoff_ms = 1.0;
+    /// While degraded, attempt to re-arm durability (fresh full
+    /// checkpoint) at most every this many ms; 0 disables re-arming.
+    double rearm_interval_ms = 5000.0;
   };
 
   /// Validates options, creates the directory, and registers metrics.
@@ -67,7 +78,12 @@ class Manager {
 
   /// Writes the generation for `ck.epoch` via the protocol above and
   /// rotates the WAL to it. Called for the initial checkpoint (engine
-  /// construction), on the periodic cadence, and at stop().
+  /// construction), on the periodic cadence, at stop(), and by the
+  /// engine's re-arm path after degradation. Throws IoError on
+  /// failure; when the failure happens before the rename commit the
+  /// new generation's tmp/WAL files are removed and the manager stays
+  /// usable on the previous generation (the engine's retry/degrade
+  /// wrapper decides what happens next).
   void checkpoint(const io::PcgCheckpoint& ck);
 
   /// Appends one flush's coalesced ops to the live WAL and counts the
@@ -96,6 +112,8 @@ class Manager {
     std::uint64_t wal_frames = 0;
     std::uint64_t wal_bytes = 0;
     std::uint64_t wal_fsyncs = 0;
+    /// Failed appends rolled back to the last committed frame boundary.
+    std::uint64_t wal_truncate_repairs = 0;
   };
   const Totals& totals() const { return totals_; }
 
@@ -115,6 +133,7 @@ class Manager {
     obs::Counter* wal_frames = nullptr;
     obs::Counter* wal_bytes = nullptr;
     obs::Counter* wal_fsyncs = nullptr;
+    obs::Counter* wal_truncate_repairs = nullptr;
     obs::Histogram* checkpoint_us = nullptr;
   };
   ObsHandles obs_;

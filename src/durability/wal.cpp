@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "durability/crash.h"
+#include "durability/faults.h"
 #include "io/checksum.h"
 #include "io/io_error.h"
 
@@ -76,6 +77,11 @@ void fsync_or_throw(int fd, const std::string& path) {
                   std::string("fsync failed: ") + std::strerror(errno));
 }
 
+IoError injected(const std::string& path, const char* what, int err) {
+  return IoError(path, 0, std::string(what) + " failed: " +
+                              std::strerror(err) + " (injected)");
+}
+
 void encode_header(std::vector<unsigned char>& out, std::uint64_t base_epoch) {
   out.clear();
   out.insert(out.end(), {'P', 'W', 'A', 'L'});
@@ -120,6 +126,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     frames_ = other.frames_;
     bytes_ = other.bytes_;
     fsyncs_ = other.fsyncs_;
+    truncate_repairs_ = other.truncate_repairs_;
     buf_ = std::move(other.buf_);
   }
   return *this;
@@ -127,6 +134,8 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
 
 WalWriter WalWriter::create(const std::string& path, std::uint64_t base_epoch,
                             bool sync) {
+  if (const int err = fail_point("wal-create"))
+    throw injected(path, "create WAL", err);
   WalWriter w;
   w.fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
   if (w.fd_ < 0)
@@ -150,22 +159,55 @@ void WalWriter::append(const WalRecord& rec) {
   if (pairs > (kMaxFrameLen - 16) / 8)
     throw IoError(path_, 0, "WAL record too large");
   encode_frame(buf_, rec);
-  if (crash_point_armed("wal-mid-append")) {
-    // Stage the torn-tail artifact a real crash would leave: only the
-    // first half of the frame reaches the file before the process dies
-    // in the crash_point below.
-    write_all(fd_, path_, buf_.data(), buf_.size() / 2);
+  // bytes_ only advances on fully committed frames, so it IS the last
+  // committed frame boundary — the offset the error path truncates
+  // back to. (The header is counted into bytes_ at create.)
+  const std::uint64_t committed = bytes_;
+  try {
+    if (crash_point_armed("wal-mid-append")) {
+      // Stage the torn-tail artifact a real crash would leave: only the
+      // first half of the frame reaches the file before the process
+      // dies in the crash_point below.
+      write_all(fd_, path_, buf_.data(), buf_.size() / 2);
+    }
+    crash_point("wal-mid-append");
+    if (const int err = fail_point("wal-append"))
+      throw injected(path_, "write WAL frame", err);
+    if (fail_point_armed("wal-append-short")) {
+      // Unlike wal-append this leaves a REAL interior torn frame, which
+      // the catch below must truncate away for the file to stay
+      // replayable after a retried append.
+      write_all(fd_, path_, buf_.data(), buf_.size() / 2);
+      const int err = fail_point("wal-append-short");
+      throw injected(path_, "write WAL frame (short)",
+                     err != 0 ? err : EIO);
+    }
+    write_all(fd_, path_, buf_.data(), buf_.size());
+    crash_point("wal-pre-fsync");
+    if (sync_) {
+      if (const int err = fail_point("wal-fsync"))
+        throw injected(path_, "fsync WAL", err);
+      fsync_or_throw(fd_, path_);
+      ++fsyncs_;
+    }
+    crash_point("wal-post-fsync");
+  } catch (...) {
+    // Roll the file back to the last committed frame boundary so a
+    // retry (or a later successful append) cannot stack a fresh frame
+    // on top of a torn one. If the rollback itself fails the file's
+    // tail state is unknown — close the writer so every later append
+    // fails fast and the engine degrades to memory-only.
+    if (::ftruncate(fd_, static_cast<off_t>(committed)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(committed), SEEK_SET) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    } else {
+      ++truncate_repairs_;
+    }
+    throw;
   }
-  crash_point("wal-mid-append");
-  write_all(fd_, path_, buf_.data(), buf_.size());
   frames_ += 1;
   bytes_ += buf_.size();
-  crash_point("wal-pre-fsync");
-  if (sync_) {
-    fsync_or_throw(fd_, path_);
-    ++fsyncs_;
-  }
-  crash_point("wal-post-fsync");
 }
 
 void WalWriter::sync() {

@@ -59,7 +59,16 @@ class WalWriter {
 
   /// Appends one frame and group-fsyncs it (when the writer was created
   /// with sync). Crash points: wal-mid-append (half the frame bytes are
-  /// written before dying), wal-pre-fsync, wal-post-fsync.
+  /// written before dying), wal-pre-fsync, wal-post-fsync. Fault
+  /// points (durability/faults.h): wal-append, wal-append-short,
+  /// wal-fsync.
+  ///
+  /// Exception safety: a frame either commits whole (counters advance,
+  /// fd offset lands on the frame boundary) or not at all — on any
+  /// write/fsync failure the file is ftruncate'd back to the last
+  /// committed frame boundary before the IoError propagates, so a
+  /// retried append cannot leave an interior torn frame. If even the
+  /// truncate fails the writer closes itself; later appends throw.
   void append(const WalRecord& rec);
 
   void sync();
@@ -70,6 +79,8 @@ class WalWriter {
   std::uint64_t frames_appended() const { return frames_; }
   std::uint64_t bytes_appended() const { return bytes_; }
   std::uint64_t fsyncs() const { return fsyncs_; }
+  /// Failed appends rolled back with ftruncate (partial-write repairs).
+  std::uint64_t truncate_repairs() const { return truncate_repairs_; }
 
  private:
   int fd_ = -1;
@@ -78,6 +89,7 @@ class WalWriter {
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t fsyncs_ = 0;
+  std::uint64_t truncate_repairs_ = 0;
   std::vector<unsigned char> buf_;  // frame staging, capacity reused
 };
 

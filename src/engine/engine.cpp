@@ -8,6 +8,7 @@
 
 #include "decomp/core_query.h"
 #include "decomp/parallel_peel.h"
+#include "io/io_error.h"
 #include "obs/export.h"
 #include "support/env.h"
 #include "support/timer.h"
@@ -23,8 +24,16 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
     : graph_(g),
       opts_(opts),
       maintainer_(g, team, opts.maintainer),
-      queue_(opts.shards),
-      threshold_(std::max<std::size_t>(1, opts.flush_threshold)),
+      // &notifier_ outlives queue_ (both members, queue_ declared
+      // first); the queue only stores the pointer here.
+      queue_(IngestQueue::Options{opts.shards, opts.ingest_cap,
+                                  opts.overload, &notifier_}),
+      // A cap below the flush threshold would leave a full buffer that
+      // never crosses the threshold: clamp so at-cap always flushes.
+      threshold_(std::max<std::size_t>(
+          1, opts.ingest_cap > 0
+                 ? std::min(opts.flush_threshold, opts.ingest_cap)
+                 : opts.flush_threshold)),
       index_(query::VersionedCoreIndex::Options{opts.snapshot_page}),
       trace_(opts.trace_capacity) {
   // Register into the global metrics registry once; the cached handles
@@ -50,6 +59,17 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
     obs_.verify_mismatches = &reg.counter("parcore_verify_mismatches_total");
     obs_.verify_us = &reg.histogram("parcore_verify_us");
   }
+  obs_.overloaded = &reg.gauge("parcore_overloaded");
+  obs_.admission_shed = &reg.counter("parcore_admission_shed_total");
+  obs_.admission_blocked_us =
+      &reg.counter("parcore_admission_blocked_us_total");
+  obs_.admission_compacted =
+      &reg.counter("parcore_admission_compacted_total");
+  obs_.repairs = &reg.counter("parcore_repairs_total");
+  obs_.quarantined = &reg.gauge("parcore_quarantined");
+  obs_.durability_degraded = &reg.gauge("parcore_durability_degraded");
+  obs_.durability_retries = &reg.counter("parcore_durability_retries_total");
+  obs_.durability_rearms = &reg.counter("parcore_durability_rearms_total");
 
   // Epoch 0: the initial decomposition, the index's one full O(n)
   // build. Every later epoch is a COW delta on top of it.
@@ -67,10 +87,15 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
       threshold_.load(std::memory_order_relaxed)));
 
   // Durability: the initial checkpoint IS epoch 0 — recovery always has
-  // a base image, and the first WAL generation opens beside it.
+  // a base image, and the first WAL generation opens beside it. The
+  // Manager constructor still throws on CONFIG errors (non-empty
+  // checkpoint directory); only the I/O of the checkpoint itself goes
+  // through the retry/degrade wrapper, so a full disk at startup gives
+  // a serving (memory-only) engine, not a dead one.
   if (!opts_.durability.dir.empty()) {
     durability_ = std::make_unique<durability::Manager>(opts_.durability);
-    durability_->checkpoint(make_checkpoint(0));
+    durable_io([&] { durability_->checkpoint(make_checkpoint(0)); },
+               "initial checkpoint");
     std::lock_guard<std::mutex> lk(stats_mu_);
     stats_.durability = durability_->totals();
   }
@@ -90,6 +115,7 @@ void StreamingEngine::start() {
   notifier_.reset();  // clear a previous stop(): start/stop can cycle
   reporter_notifier_.reset();
   reverify_notifier_.reset();
+  queue_.open();  // re-arm the admission cap after a previous stop()
   running_ = true;
   scheduler_ = std::thread([this] { scheduler_loop(); });
   if (opts_.report_interval_ms > 0.0)
@@ -99,6 +125,11 @@ void StreamingEngine::start() {
 }
 
 void StreamingEngine::stop() {
+  // Release any producer still blocked on the admission cap BEFORE
+  // joining the scheduler: once draining stops, a blocked producer
+  // would otherwise wait forever. (Producers are contractually done by
+  // now, but a straggler must deadlock-proof into a plain accept.)
+  queue_.close();
   if (running_) {
     notifier_.request_stop();
     reporter_notifier_.request_stop();
@@ -109,9 +140,11 @@ void StreamingEngine::stop() {
     running_ = false;
   }
   // Final drain on the caller's thread: catches updates submitted after
-  // the scheduler observed the stop request, and serves engines that
-  // were never start()ed.
-  if (queue_.approx_size() > 0) flush_now();
+  // the scheduler observed the stop request, serves engines that were
+  // never start()ed, and runs a still-pending repair.
+  if (queue_.approx_size() > 0 ||
+      repair_requested_.load(std::memory_order_relaxed))
+    flush_now();
   // Quiescent now (scheduler joined, producers done): refresh the
   // memory sample so post-run stats reflect the final graph even when
   // the run was shorter than om_compact_interval.
@@ -119,9 +152,13 @@ void StreamingEngine::stop() {
     std::lock_guard<std::mutex> lk(flush_mu_);
     // Shutdown checkpoint: anything logged since the last periodic one
     // becomes part of a fresh generation, so a clean stop never needs
-    // WAL replay on the next recover.
-    if (durability_ && durability_->dirty()) {
-      durability_->checkpoint(make_checkpoint(published_epoch_));
+    // WAL replay on the next recover. Skipped while degraded — the
+    // whole point of memory-only mode is that durable I/O stopped
+    // working; stats().durability_degraded reports it.
+    if (durability_ && !durability_degraded_ && durability_->dirty()) {
+      durable_io(
+          [&] { durability_->checkpoint(make_checkpoint(published_epoch_)); },
+          "shutdown checkpoint");
       std::lock_guard<std::mutex> lk2(stats_mu_);
       stats_.durability = durability_->totals();
     }
@@ -132,8 +169,13 @@ void StreamingEngine::stop() {
   }
 }
 
-void StreamingEngine::submit(const GraphUpdate& u) {
-  const std::size_t prev = queue_.push(u);
+SubmitResult StreamingEngine::submit(const GraphUpdate& u) {
+  // At-cap handling lives inside the queue (its overflow notifier
+  // points at the scheduler), so this path is identical for capped and
+  // uncapped engines.
+  const PushResult pushed = queue_.push(u);
+  if (!pushed.accepted) return SubmitResult{false, 0};
+  const std::size_t prev = pushed.prev;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   // No obs record here: submit is the producer hot path and even a
   // sharded relaxed inc costs measurable throughput (the <=2% CI
@@ -147,6 +189,7 @@ void StreamingEngine::submit(const GraphUpdate& u) {
   // restarts near zero), and the interval timeout covers the rest.
   const std::size_t threshold = threshold_.load(std::memory_order_relaxed);
   if (prev < threshold && prev + 1 >= threshold) notifier_.notify();
+  return SubmitResult{true, pushed.blocked_us};
 }
 
 void StreamingEngine::scheduler_loop() {
@@ -155,7 +198,10 @@ void StreamingEngine::scheduler_loop() {
   for (;;) {
     notifier_.wait_for(interval);
     const bool stopping = notifier_.stop_requested();
-    if (queue_.approx_size() > 0) {
+    // A pending repair flushes even an empty buffer: the rebuild runs
+    // at the next quiescent point whether or not producers are active.
+    if (queue_.approx_size() > 0 ||
+        repair_requested_.load(std::memory_order_relaxed)) {
       std::lock_guard<std::mutex> lk(flush_mu_);
       flush_locked();
     }
@@ -181,53 +227,77 @@ void StreamingEngine::reporter_loop() {
 void StreamingEngine::reverifier_loop() {
   const auto interval =
       std::chrono::duration<double, std::milli>(opts_.reverify_interval_ms);
+  for (;;) {
+    reverify_notifier_.wait_for(interval);
+    if (reverify_notifier_.stop_requested()) return;
+    run_reverify_once();
+  }
+}
+
+std::size_t StreamingEngine::run_reverify_once() {
   // Private team: ThreadTeam::run is single-dispatcher, and the flush
   // path owns the engine's team — the re-verifier must never contend
   // for it (that would stall flushes for the length of a full
   // decomposition, the opposite of "background").
   const int workers = std::max(1, opts_.workers);
   ThreadTeam team(workers);
-  for (;;) {
-    reverify_notifier_.wait_for(interval);
-    if (reverify_notifier_.stop_requested()) return;
 
-    // A consistent (graph, snapshot) pair: the graph only mutates under
-    // flush_mu_ and every flush publishes before releasing it, so a
-    // copy taken under the lock matches the latest snapshot exactly.
-    std::unique_ptr<DynamicGraph> copy;
-    std::shared_ptr<const EngineSnapshot> at;
-    {
-      std::lock_guard<std::mutex> lk(flush_mu_);
-      copy = std::make_unique<DynamicGraph>(graph_);
-      at = snapshot();
-    }
-
-    WallTimer timer;
-    DecomposeOptions dopts;
-    dopts.workers = workers;
-    dopts.mode = DecomposeMode::kExact;
-    const BulkDecomposition truth = parallel_decompose(*copy, team, dopts);
-    std::size_t mismatches = 0;
-    const std::size_t n = std::min<std::size_t>(truth.core.size(),
-                                                at->num_vertices());
-    for (VertexId v = 0; v < n; ++v)
-      if (at->core(v) != truth.core[v]) ++mismatches;
-    const std::uint64_t us = timer.elapsed_us();
-
-    if (obs_.verify_runs != nullptr) {
-      obs_.verify_runs->add(1);
-      obs_.verify_mismatches->add(mismatches);
-      obs_.verify_us->record(us);
-    }
-    if (mismatches > 0)
-      std::fprintf(stderr,
-                   "[parcore verify] epoch=%llu: %zu cores diverge from "
-                   "full recompute\n",
-                   static_cast<unsigned long long>(at->epoch), mismatches);
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    ++stats_.verify_runs;
-    stats_.verify_mismatches += mismatches;
+  // A consistent (graph, snapshot) pair: the graph only mutates under
+  // flush_mu_ and every flush publishes before releasing it, so a
+  // copy taken under the lock matches the latest snapshot exactly.
+  // Deliberately reads snap_, not snapshot(): the verifier must judge
+  // the LIVE state even while queries are quarantined to an older one.
+  std::unique_ptr<DynamicGraph> copy;
+  std::shared_ptr<const EngineSnapshot> at;
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    copy = std::make_unique<DynamicGraph>(graph_);
+    snap_mu_.lock();
+    at = snap_;
+    snap_mu_.unlock();
   }
+
+  WallTimer timer;
+  DecomposeOptions dopts;
+  dopts.workers = workers;
+  dopts.mode = DecomposeMode::kExact;
+  const BulkDecomposition truth = parallel_decompose(*copy, team, dopts);
+  std::size_t mismatches = 0;
+  const std::size_t n = std::min<std::size_t>(truth.core.size(),
+                                              at->num_vertices());
+  for (VertexId v = 0; v < n; ++v)
+    if (at->core(v) != truth.core[v]) ++mismatches;
+  const std::uint64_t us = timer.elapsed_us();
+
+  if (obs_.verify_runs != nullptr) {
+    obs_.verify_runs->add(1);
+    obs_.verify_mismatches->add(mismatches);
+    obs_.verify_us->record(us);
+  }
+  if (mismatches == 0) {
+    // Clean pass: this snapshot becomes the quarantine fallback the
+    // next mismatch pins queries to.
+    snap_mu_.lock();
+    verified_snap_ = at;
+    snap_mu_.unlock();
+  } else {
+    std::fprintf(stderr,
+                 "[parcore verify] epoch=%llu: %zu cores diverge from "
+                 "full recompute — quarantining queries to last verified "
+                 "epoch, repair scheduled\n",
+                 static_cast<unsigned long long>(at->epoch), mismatches);
+    quarantined_.store(true, std::memory_order_relaxed);
+    repair_requested_.store(true, std::memory_order_relaxed);
+    obs_.quarantined->set(1);
+    // Wake the scheduler so the repair flush runs promptly even with
+    // idle producers.
+    notifier_.notify();
+  }
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++stats_.verify_runs;
+  stats_.verify_mismatches += mismatches;
+  stats_.quarantined = quarantined_.load(std::memory_order_relaxed);
+  return mismatches;
 }
 
 std::uint64_t StreamingEngine::flush_now() {
@@ -242,6 +312,18 @@ std::uint64_t StreamingEngine::flush_locked() {
   // (obs/trace.h FlushSpan).
   WallTimer timer;
   obs::FlushSpan span;
+
+  // Self-healing: a re-verifier mismatch requested a rebuild. Run it
+  // FIRST, on the quiescent pre-drain state — this flush's batch then
+  // applies incrementally on top of a freshly correct base, and the
+  // publish below re-clones every page so the live view sheds the
+  // corruption in the same epoch.
+  const bool repaired = repair_requested_.exchange(false);
+  if (repaired) {
+    maintainer_.rebuild(std::max(1, opts_.workers));
+    span.repair_us = timer.elapsed_us();
+  }
+  const std::uint64_t t_repair = timer.elapsed_us();
 
   std::vector<GraphUpdate> raw;
   queue_.drain(raw);
@@ -259,13 +341,16 @@ std::uint64_t StreamingEngine::flush_locked() {
   // Write-ahead: the coalesced ops are durable (group-fsync'd) BEFORE
   // any of them mutate the graph, stamped with the epoch this flush
   // will publish. Recovery replays exactly these batches in exactly
-  // this order (removes first).
-  if (durability_) {
+  // this order (removes first). The append goes through the
+  // retry/degrade wrapper: an injected or real I/O error never escapes
+  // the flush path — after max_retries the engine disarms durability
+  // and keeps serving from memory.
+  if (durability_ && !durability_degraded_) {
     durability::WalRecord rec;
     rec.epoch = published_epoch_ + 1;
     rec.removes = batch.removes;
     rec.inserts = batch.inserts;
-    durability_->log_flush(rec);
+    durable_io([&] { durability_->log_flush(rec); }, "wal append");
   }
   const std::uint64_t t_wal = timer.elapsed_us();
 
@@ -341,10 +426,18 @@ std::uint64_t StreamingEngine::flush_locked() {
   const std::uint64_t epoch = ++published_epoch_;
   // Time the COW publish alone: publish_us is the O(|V*| + dirty pages)
   // claim under measurement, so the optional O(n+m) graph copy inside
-  // build_snapshot must not pollute it.
+  // build_snapshot must not pollute it. A repair invalidates every
+  // page (the rebuild rewrote all cores), so it publishes via a full
+  // index rebuild instead of the dirty-page delta.
   WallTimer publish_timer;
-  query::CoreView view = index_.publish(
-      dirty_, [this](VertexId v) { return maintainer_.core(v); });
+  query::CoreView view =
+      repaired ? index_.rebuild(graph_.num_vertices(),
+                                [this](VertexId v) {
+                                  return maintainer_.core(v);
+                                })
+               : index_.publish(dirty_, [this](VertexId v) {
+                   return maintainer_.core(v);
+                 });
   const double publish_ms = publish_timer.elapsed_ms();
   auto snap = build_snapshot(epoch, std::move(view));
   const std::uint64_t t_publish = timer.elapsed_us();
@@ -353,8 +446,13 @@ std::uint64_t StreamingEngine::flush_locked() {
   // fully applied, published, and no worker is running — exactly the
   // state the checkpoint must capture. Rotating the WAL here keeps the
   // invariant that wal-<e>.log holds only frames with epochs > e.
-  if (durability_ && durability_->checkpoint_due())
-    durability_->checkpoint(make_checkpoint(epoch));
+  // While degraded, this slot instead hosts the periodic re-arm
+  // attempt (a fresh full checkpoint; success resumes WAL logging).
+  if (durability_ && !durability_degraded_ && durability_->checkpoint_due())
+    durable_io([&] { durability_->checkpoint(make_checkpoint(epoch)); },
+               "periodic checkpoint");
+  else if (durability_ && durability_degraded_)
+    try_rearm_durability(epoch);
   const std::uint64_t t_checkpoint = timer.elapsed_us();
 
   const double flush_ms = timer.elapsed_ms();
@@ -367,7 +465,7 @@ std::uint64_t StreamingEngine::flush_locked() {
   span.inserts = batch.inserts.size();
   span.removes = batch.removes.size();
   span.pages_cloned = index_.last_pages_cloned();
-  span.drain_us = t_drain;
+  span.drain_us = t_drain - t_repair;
   span.coalesce_us = t_coalesce - t_drain;
   span.wal_us = t_wal - t_coalesce;
   const std::uint64_t batch_window = t_apply - t_wal;
@@ -378,6 +476,20 @@ std::uint64_t StreamingEngine::flush_locked() {
   span.checkpoint_us = t_checkpoint - t_publish;
   span.flush_us = static_cast<std::uint64_t>(flush_ms * 1000.0);
   span.steal_chunks = plan_delta.steals;
+
+  // Flush-lag overload detector: a backlog that already exceeds the
+  // flush threshold the moment a flush completes means producers are
+  // outrunning the drain — a whole new flush is due immediately.
+  // Hysteresis (clear below half the threshold) keeps the gauge from
+  // flapping at the boundary.
+  const std::size_t backlog = queue_.approx_size();
+  const std::size_t threshold_now =
+      threshold_.load(std::memory_order_relaxed);
+  if (!overloaded_ && backlog >= threshold_now)
+    overloaded_ = true;
+  else if (overloaded_ && backlog * 2 < threshold_now)
+    overloaded_ = false;
+  const IngestQueue::AdmissionStats adm = queue_.admission();
 
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
@@ -406,8 +518,15 @@ std::uint64_t StreamingEngine::flush_locked() {
     stats_.phases.om_compact_us += span.om_compact_us;
     stats_.phases.publish_us += span.publish_us;
     stats_.phases.checkpoint_us += span.checkpoint_us;
+    stats_.phases.repair_us += span.repair_us;
     stats_.phases.worker_busy_us += span.worker_busy_us;
     stats_.phases.worker_idle_us += span.worker_idle_us;
+    if (repaired) ++stats_.repairs;
+    stats_.quarantined =
+        repaired ? false : quarantined_.load(std::memory_order_relaxed);
+    stats_.admission = adm;
+    stats_.overloaded = overloaded_;
+    if (overloaded_) ++stats_.overload_flushes;
     if (durability_) stats_.durability = durability_->totals();
     stats_.snapshot_pages_cloned += index_.last_pages_cloned();
     stats_.publish_us.record(static_cast<std::size_t>(publish_ms * 1000.0));
@@ -418,8 +537,17 @@ std::uint64_t StreamingEngine::flush_locked() {
   // that grabs snapshot() then stats() can never observe epoch e paired
   // with stats from e-1 (the pre-ISSUE-5 snapshot/stats tear).
   snap_mu_.lock();
+  // A repaired snapshot was just recomputed from scratch: it is by
+  // construction verified, so it both lifts the quarantine and becomes
+  // the new fallback for the next mismatch.
+  if (repaired) verified_snap_ = snap;
   snap_ = std::move(snap);
   snap_mu_.unlock();
+  if (repaired) {
+    quarantined_.store(false, std::memory_order_relaxed);
+    obs_.quarantined->set(0);
+    obs_.repairs->add(1);
+  }
   if (opts_.adaptive) adapt_threshold(flush_ms, raw.size());
 
   // Observability last, off the reader-visible locks: the span ring,
@@ -441,7 +569,114 @@ std::uint64_t StreamingEngine::flush_locked() {
   obs_.flush_us->record(span.flush_us);
   obs_.batch_size->record(span.raw);
   obs_.publish_us->record(static_cast<std::uint64_t>(publish_ms * 1000.0));
+  obs_.overloaded->set(overloaded_ ? 1 : 0);
+  // Admission counters are maintained by the queue; export per-flush
+  // deltas so the registry totals stay monotonic and cumulative.
+  obs_.admission_shed->add(adm.shed - admission_exported_.shed);
+  obs_.admission_blocked_us->add(adm.blocked_us -
+                                 admission_exported_.blocked_us);
+  obs_.admission_compacted->add(adm.compacted -
+                                admission_exported_.compacted);
+  admission_exported_ = adm;
   return epoch;
+}
+
+bool StreamingEngine::durable_io(const std::function<void()>& op,
+                                 const char* what) {
+  const durability::Manager::Options& d = opts_.durability;
+  const int max_retries = std::max(0, d.max_retries);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      op();
+      if (attempt > 0) {
+        obs_.durability_retries->add(static_cast<std::uint64_t>(attempt));
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        stats_.durability_retries += static_cast<std::uint64_t>(attempt);
+      }
+      return true;
+    } catch (const io::IoError& e) {
+      if (attempt >= max_retries) {
+        // Persistent failure: disarm durability instead of letting the
+        // error terminate the serving path. The Manager object stays
+        // alive (its directory may come back — ENOSPC clears, the
+        // mount heals) and try_rearm_durability() probes it on a
+        // timer.
+        durability_degraded_ = true;
+        degraded_epoch_ = published_epoch_;
+        last_rearm_attempt_ = std::chrono::steady_clock::now();
+        obs_.durability_degraded->set(1);
+        std::fprintf(stderr,
+                     "[parcore durability] %s failed after %d attempts "
+                     "(%s) — degrading to memory-only mode at epoch %llu\n",
+                     what, attempt + 1, e.what(),
+                     static_cast<unsigned long long>(published_epoch_));
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        stats_.durability_retries += static_cast<std::uint64_t>(attempt);
+        stats_.durability_degraded = true;
+        stats_.durability_degraded_epoch = published_epoch_;
+        return false;
+      }
+      // Bounded exponential backoff: transient blips (EINTR-ish
+      // hiccups, a momentarily full disk) usually clear within a few
+      // ms, and the flush path can afford short stalls far better than
+      // losing durability.
+      const double backoff_ms =
+          std::max(0.0, d.retry_backoff_ms) * static_cast<double>(1 << attempt);
+      if (backoff_ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
+}
+
+void StreamingEngine::try_rearm_durability(std::uint64_t epoch) {
+  const double interval_ms = opts_.durability.rearm_interval_ms;
+  if (interval_ms <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double since_ms =
+      std::chrono::duration<double, std::milli>(now - last_rearm_attempt_)
+          .count();
+  if (since_ms < interval_ms) return;
+  last_rearm_attempt_ = now;
+  try {
+    // A FULL checkpoint, not a WAL resume: frames were dropped while
+    // degraded, so the only consistent durable state is a fresh image
+    // of the current epoch (which also rotates in a fresh WAL).
+    durability_->checkpoint(make_checkpoint(epoch));
+  } catch (const io::IoError&) {
+    return;  // still broken; next attempt after the interval
+  }
+  durability_degraded_ = false;
+  obs_.durability_degraded->set(0);
+  obs_.durability_rearms->add(1);
+  std::fprintf(stderr,
+               "[parcore durability] re-armed at epoch %llu (fresh "
+               "checkpoint generation)\n",
+               static_cast<unsigned long long>(epoch));
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++stats_.durability_rearms;
+  stats_.durability_degraded = false;
+  stats_.durability = durability_->totals();
+}
+
+void StreamingEngine::corrupt_cores_for_test(
+    const std::vector<VertexId>& vertices, CoreValue delta) {
+  std::lock_guard<std::mutex> lk(flush_mu_);
+  for (VertexId v : vertices) {
+    std::atomic<CoreValue>& c = maintainer_.state().core(v);
+    c.store(static_cast<CoreValue>(c.load(std::memory_order_relaxed) + delta),
+            std::memory_order_relaxed);
+  }
+  // Republish the touched pages at the SAME epoch so the live view
+  // carries the corruption too — exactly what a maintenance bug would
+  // leave behind: state and view agreeing with each other and both
+  // wrong versus the graph.
+  query::CoreView view = index_.publish(
+      vertices, [this](VertexId v) { return maintainer_.core(v); });
+  auto snap = build_snapshot(published_epoch_, std::move(view));
+  snap_mu_.lock();
+  snap_ = std::move(snap);
+  snap_mu_.unlock();
 }
 
 io::PcgCheckpoint StreamingEngine::make_checkpoint(std::uint64_t epoch) {
@@ -486,7 +721,14 @@ void StreamingEngine::adapt_threshold(double flush_ms, std::size_t raw) {
 
 std::shared_ptr<const EngineSnapshot> StreamingEngine::snapshot() const {
   snap_mu_.lock();
-  std::shared_ptr<const EngineSnapshot> s = snap_;
+  // While quarantined, queries are pinned to the last VERIFIED epoch:
+  // a snapshot known wrong must not be served while the repair flush is
+  // in flight (docs/ROBUSTNESS.md). The repair publishes a fresh
+  // verified snapshot and lifts the pin.
+  std::shared_ptr<const EngineSnapshot> s =
+      quarantined_.load(std::memory_order_relaxed) && verified_snap_
+          ? verified_snap_
+          : snap_;
   snap_mu_.unlock();
   return s;
 }
@@ -517,6 +759,10 @@ EngineStats StreamingEngine::stats() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   EngineStats s = stats_;
   s.submitted = submitted_.load(std::memory_order_relaxed);
+  // Live rather than flush-latest: a shed/blocked producer shows up in
+  // stats() immediately, not only after the next flush exports deltas.
+  s.admission = queue_.admission();
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -530,6 +776,24 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
       env_double("PARCORE_ENGINE_FLUSH_INTERVAL_MS", base.flush_interval_ms);
   base.workers = static_cast<int>(
       env_int("PARCORE_ENGINE_WORKERS", base.workers));
+  // Admission control (docs/ROBUSTNESS.md).
+  base.ingest_cap = static_cast<std::size_t>(std::max(
+      env_int("PARCORE_ENGINE_INGEST_CAP",
+              static_cast<long>(base.ingest_cap)),
+      0L));
+  {
+    const std::string policy = env_str(
+        "PARCORE_ENGINE_OVERLOAD",
+        base.overload == OverloadPolicy::kShed      ? "shed"
+        : base.overload == OverloadPolicy::kDegrade ? "degrade"
+                                                    : "block");
+    if (policy == "shed")
+      base.overload = OverloadPolicy::kShed;
+    else if (policy == "degrade")
+      base.overload = OverloadPolicy::kDegrade;
+    else if (policy == "block")
+      base.overload = OverloadPolicy::kBlock;
+  }
   if (std::getenv("PARCORE_ENGINE_ADAPTIVE") != nullptr)
     base.adaptive = env_flag("PARCORE_ENGINE_ADAPTIVE");
   base.target_flush_ms =
@@ -594,6 +858,18 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
       env_int("PARCORE_WAL_RETAIN",
               static_cast<long>(base.durability.retain)),
       1L));
+  // Durable-I/O fault tolerance (docs/ROBUSTNESS.md).
+  base.durability.max_retries = static_cast<int>(std::clamp(
+      env_int("PARCORE_WAL_RETRIES",
+              static_cast<long>(base.durability.max_retries)),
+      0L, 100L));
+  base.durability.retry_backoff_ms = std::max(
+      env_double("PARCORE_WAL_RETRY_BACKOFF_MS",
+                 base.durability.retry_backoff_ms),
+      0.0);
+  base.durability.rearm_interval_ms = std::max(
+      env_double("PARCORE_WAL_REARM_MS", base.durability.rearm_interval_ms),
+      0.0);
   return base;
 }
 

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,17 @@ struct EngineSnapshot {
 /// snapshot in. A reader that grabs `snapshot()` and then `stats()` is
 /// therefore guaranteed `stats().epochs >= snapshot()->epoch` — stats
 /// can run ahead of the snapshot it saw, never behind it.
+/// Outcome of one submit(), surfaced so callers can react to admission
+/// control (docs/ROBUSTNESS.md): with the kShed policy at cap the
+/// update was NOT enqueued and `accepted` is false — retry, back off,
+/// or drop. With kBlock, `blocked_us` is the backpressure wait this
+/// submit absorbed. Existing callers that ignore the result keep the
+/// pre-admission behaviour (block policy default).
+struct SubmitResult {
+  bool accepted = true;
+  std::uint64_t blocked_us = 0;
+};
+
 struct EngineStats {
   std::uint64_t epochs = 0;  // epoch described by these stats
   std::uint64_t submitted = 0;
@@ -113,7 +125,7 @@ struct EngineStats {
   };
   PlanAggregate plan;
   /// Per-phase wall time summed over every flush, microseconds. The
-  /// eight phases partition each flush window (obs/trace.h FlushSpan),
+  /// nine phases partition each flush window (obs/trace.h FlushSpan),
   /// so their sums track `flush_us`'s total up to per-flush rounding.
   /// wal_us / checkpoint_us stay 0 unless durability is enabled.
   struct PhaseTotals {
@@ -125,6 +137,9 @@ struct EngineStats {
     std::uint64_t om_compact_us = 0;
     std::uint64_t publish_us = 0;
     std::uint64_t checkpoint_us = 0;
+    /// Self-healing rebuilds (stays 0 unless the re-verifier found a
+    /// mismatch and the next flush re-decomposed from scratch).
+    std::uint64_t repair_us = 0;
     /// Worker attribution of the apply dispatches (trace.h semantics).
     std::uint64_t worker_busy_us = 0;
     std::uint64_t worker_idle_us = 0;
@@ -161,6 +176,29 @@ struct EngineStats {
   /// mismatch is a maintenance bug caught in production).
   std::uint64_t verify_runs = 0;
   std::uint64_t verify_mismatches = 0;
+  /// Self-healing (docs/ROBUSTNESS.md): full state rebuilds triggered
+  /// by re-verifier mismatches, and whether queries are currently
+  /// quarantined to the last verified snapshot while a repair is
+  /// pending.
+  std::uint64_t repairs = 0;
+  bool quarantined = false;
+  /// Admission control (Options::ingest_cap); all zero when unbounded.
+  IngestQueue::AdmissionStats admission;
+  /// Flush-lag overload detector: whether the engine currently
+  /// considers itself overloaded (backlog after a flush still >= the
+  /// flush threshold; cleared below half), and how many flushes ended
+  /// in that state.
+  bool overloaded = false;
+  std::uint64_t overload_flushes = 0;
+  /// Durable-I/O fault tolerance: retried WAL/checkpoint operations
+  /// that eventually succeeded, degradations to memory-only mode,
+  /// successful re-arms, and the current degraded flag (true = WAL and
+  /// checkpoints are disarmed; recovery is possible only up to the
+  /// last durable generation).
+  std::uint64_t durability_retries = 0;
+  std::uint64_t durability_rearms = 0;
+  bool durability_degraded = false;
+  std::uint64_t durability_degraded_epoch = 0;
   SizeHistogram publish_us{1u << 14};  // per-epoch publish time, µs
   // Exact-bucket sizes bound the per-engine footprint (~0.5 MB) and the
   // stats() copy cost: flushes beyond 65.5 ms land in the overflow
@@ -176,6 +214,14 @@ class StreamingEngine {
     std::size_t flush_threshold = 8192;  // buffered updates per flush
     double flush_interval_ms = 10.0;  // max staleness of buffered updates
     int workers = 4;                  // maintainer workers per flush
+    /// Admission control (docs/ROBUSTNESS.md): bound the ingest buffer
+    /// at this many updates (0 = unbounded) and resolve at-cap submits
+    /// with `overload`. The effective flush threshold is clamped to the
+    /// cap so a full buffer always triggers a flush. The cap is a soft
+    /// bound: racing producers can overshoot by at most one update
+    /// each. (PARCORE_ENGINE_INGEST_CAP / PARCORE_ENGINE_OVERLOAD.)
+    std::size_t ingest_cap = 0;
+    OverloadPolicy overload = OverloadPolicy::kBlock;
     /// Adaptive batch policy: scale flush_threshold so that a flush
     /// takes about target_flush_ms, clamped to [min,max]_threshold.
     bool adaptive = false;
@@ -250,15 +296,18 @@ class StreamingEngine {
   void stop();
 
   // ----------------------------------------------------------- ingest
-  /// Thread-safe, non-blocking (beyond a shard spinlock); callable from
-  /// any producer thread. Out-of-range endpoints are accepted here and
-  /// rejected (counted) at coalesce time.
-  void submit(const GraphUpdate& u);
-  void submit_insert(VertexId u, VertexId v) {
-    submit(GraphUpdate{Edge{u, v}, UpdateKind::kInsert});
+  /// Thread-safe; callable from any producer thread. Non-blocking
+  /// (beyond a shard spinlock) unless Options::ingest_cap is set with
+  /// the kBlock policy, in which case an at-cap submit waits for a
+  /// drain (SubmitResult::blocked_us). With kShed the update can be
+  /// rejected — check SubmitResult::accepted. Out-of-range endpoints
+  /// are accepted here and rejected (counted) at coalesce time.
+  SubmitResult submit(const GraphUpdate& u);
+  SubmitResult submit_insert(VertexId u, VertexId v) {
+    return submit(GraphUpdate{Edge{u, v}, UpdateKind::kInsert});
   }
-  void submit_remove(VertexId u, VertexId v) {
-    submit(GraphUpdate{Edge{u, v}, UpdateKind::kRemove});
+  SubmitResult submit_remove(VertexId u, VertexId v) {
+    return submit(GraphUpdate{Edge{u, v}, UpdateKind::kRemove});
   }
 
   /// Synchronously drains + applies on the calling thread (the same
@@ -291,11 +340,40 @@ class StreamingEngine {
   DynamicGraph& graph() { return graph_; }
   ParallelOrderMaintainer& maintainer() { return maintainer_; }
 
+  /// One synchronous re-verification pass on the calling thread — the
+  /// exact body the background re-verifier runs per interval: copy the
+  /// graph at a flush boundary, recompute the full decomposition, diff
+  /// against the live CoreView; on mismatch quarantine queries to the
+  /// last verified snapshot and request a repair at the next flush.
+  /// Returns the mismatch count (0 = clean). Works without start().
+  std::size_t run_reverify_once();
+
+  /// True while queries are pinned to the last verified snapshot
+  /// because a mismatch was detected and the repair has not run yet.
+  bool quarantined() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+
+  /// TEST ONLY: overwrite the maintained core values of `vertices`
+  /// (adding `delta` to each) in both the maintainer state and the
+  /// published snapshot, simulating the silent state corruption the
+  /// re-verifier + repair path exists to catch. Takes the flush lock.
+  void corrupt_cores_for_test(const std::vector<VertexId>& vertices,
+                              CoreValue delta);
+
  private:
   void scheduler_loop();
   void reporter_loop();
   void reverifier_loop();
   std::uint64_t flush_locked();  // requires flush_mu_
+  /// Runs `op` (a durability call) with bounded retry/backoff; on
+  /// persistent io::IoError degrades the engine to memory-only mode
+  /// instead of letting the error escape the flush path. Returns false
+  /// iff degraded. Requires flush_mu_.
+  bool durable_io(const std::function<void()>& op, const char* what);
+  /// Re-arm attempt: while degraded, periodically try a full fresh
+  /// checkpoint; success resumes WAL logging. Requires flush_mu_.
+  void try_rearm_durability(std::uint64_t epoch);
   /// Wraps an already-published view into the snapshot for `epoch`
   /// (requires flush_mu_), adding max core / edge count / the optional
   /// graph copy. Does NOT swap it in — the caller updates stats first,
@@ -344,9 +422,32 @@ class StreamingEngine {
 
   // Snapshot publication: writers swap the pointer under snap_mu_,
   // readers copy the shared_ptr under the same spinlock (held for the
-  // refcount bump only).
+  // refcount bump only). While quarantined_, snapshot() serves
+  // verified_snap_ (the newest snapshot a re-verify pass confirmed)
+  // instead of snap_.
   mutable Spinlock snap_mu_;
   std::shared_ptr<const EngineSnapshot> snap_;
+  std::shared_ptr<const EngineSnapshot> verified_snap_;
+
+  // Self-healing state (docs/ROBUSTNESS.md): the re-verifier sets both
+  // flags on mismatch; the next flush performs the rebuild, clears
+  // them, and re-verifies the snapshot it publishes.
+  std::atomic<bool> quarantined_{false};
+  std::atomic<bool> repair_requested_{false};
+
+  // Durable-I/O fault tolerance (guarded by flush_mu_, like
+  // durability_ itself). While degraded the Manager stays alive but
+  // unused; try_rearm_durability() attempts a fresh full checkpoint on
+  // the rearm_interval_ms cadence.
+  bool durability_degraded_ = false;
+  std::uint64_t degraded_epoch_ = 0;
+  std::chrono::steady_clock::time_point last_rearm_attempt_{};
+
+  // Overload detector state (scheduler/flush thread only).
+  bool overloaded_ = false;
+  // Last-exported admission totals, so per-flush obs updates add
+  // deltas instead of re-adding cumulative counts.
+  IngestQueue::AdmissionStats admission_exported_{};
 
   // Stats: counters written only by the flushing thread under
   // flush_mu_, read under stats_mu_ by stats().
@@ -377,6 +478,15 @@ class StreamingEngine {
     obs::Counter* verify_runs = nullptr;
     obs::Counter* verify_mismatches = nullptr;
     obs::Histogram* verify_us = nullptr;
+    obs::Gauge* overloaded = nullptr;
+    obs::Counter* admission_shed = nullptr;
+    obs::Counter* admission_blocked_us = nullptr;
+    obs::Counter* admission_compacted = nullptr;
+    obs::Counter* repairs = nullptr;
+    obs::Gauge* quarantined = nullptr;
+    obs::Gauge* durability_degraded = nullptr;
+    obs::Counter* durability_retries = nullptr;
+    obs::Counter* durability_rearms = nullptr;
   };
   ObsHandles obs_;
 };

@@ -1,7 +1,10 @@
 #include "engine/ingest.h"
 
+#include <algorithm>
+#include <chrono>
 #include <functional>
 #include <thread>
+#include <unordered_set>
 
 namespace parcore::engine {
 
@@ -15,8 +18,9 @@ std::size_t round_up_pow2(std::size_t x) {
 
 }  // namespace
 
-IngestQueue::IngestQueue(std::size_t shards) {
-  const std::size_t count = round_up_pow2(shards == 0 ? 1 : shards);
+IngestQueue::IngestQueue(Options opts)
+    : cap_(opts.cap), policy_(opts.policy), overflow_(opts.overflow) {
+  const std::size_t count = round_up_pow2(opts.shards == 0 ? 1 : opts.shards);
   shards_ = std::vector<Shard>(count);
   mask_ = count - 1;
 }
@@ -30,16 +34,118 @@ IngestQueue::Shard& IngestQueue::shard_for_this_thread() {
   return shards_[tid_hash & mask_];
 }
 
-std::size_t IngestQueue::push(const GraphUpdate& u) {
+std::size_t IngestQueue::compact_shard(Shard& s) {
+  s.lock.lock();
+  const std::size_t before = s.buf.size();
+  // Amortization guard: don't re-scan until the shard has roughly
+  // doubled past the last compaction's survivor count. Without it an
+  // all-distinct stream at the cap would pay a futile O(size) scan per
+  // push (observed as a ~500x throughput collapse in bench_overload).
+  if (before < s.compact_floor * 2 + 16) {
+    s.lock.unlock();
+    return 0;
+  }
+  if (before > 1) {
+    // Walk back to front keeping only each edge's LAST op, then restore
+    // order. Dropping an edge's earlier ops cannot change what the
+    // coalescer computes from the drained stream: only the drain-order
+    // last op of an edge decides its outcome, and survivors keep their
+    // relative order (per-producer FIFO included).
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(before);
+    std::vector<GraphUpdate> kept;
+    kept.reserve(before);
+    for (std::size_t i = before; i-- > 0;) {
+      if (seen.insert(edge_key(s.buf[i].e)).second) kept.push_back(s.buf[i]);
+    }
+    std::reverse(kept.begin(), kept.end());
+    s.buf.swap(kept);
+  }
+  s.compact_floor = s.buf.size();
+  const std::size_t removed = before - s.buf.size();
+  if (removed > 0) size_.fetch_sub(removed, std::memory_order_relaxed);
+  s.lock.unlock();
+  return removed;
+}
+
+PushResult IngestQueue::push(const GraphUpdate& u) {
+  PushResult r;
   Shard& s = shard_for_this_thread();
   s.lock.lock();
   s.buf.push_back(u);
   // Counted inside the critical section: once drain() can observe the
   // update (it takes this lock), its increment has landed, so the
   // drain-side fetch_sub can never underflow the counter.
-  const std::size_t prev = size_.fetch_add(1, std::memory_order_relaxed);
+  r.prev = size_.fetch_add(1, std::memory_order_relaxed);
+  // Optimistic admission: the fetch_add the unbounded path already pays
+  // doubles as the at-cap probe, so an under-cap push costs one register
+  // compare over the unbounded queue. (A separate pre-push size_ load
+  // re-contends the hottest cache line before its own RMW and measurably
+  // taxed admission-on throughput — the <=2% gate is why the probe is
+  // the RMW itself.) At-cap handling enters with the lock still held so
+  // kShed/kBlock can retract the speculative insert before any drain
+  // could deliver it.
+  if (cap_ > 0 && r.prev >= cap_ &&
+      !closed_.load(std::memory_order_relaxed)) {
+    return push_at_cap(s, u, r);
+  }
   s.lock.unlock();
-  return prev;
+  return r;
+}
+
+PushResult IngestQueue::push_at_cap(Shard& s, const GraphUpdate& u,
+                                    PushResult r) {
+  if (policy_ != OverloadPolicy::kDegrade) {
+    // kShed and kBlock both take the update back out under the same
+    // lock hold that inserted it — a concurrent drain can never see a
+    // shed update or a blocked producer's update before its wait ends.
+    s.buf.pop_back();
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  s.lock.unlock();
+  // Poke the consumer before the policy acts: a blocking producer
+  // wants the drain it is about to wait on already scheduled.
+  if (overflow_ != nullptr) overflow_->notify();
+  switch (policy_) {
+    case OverloadPolicy::kShed:
+      r.accepted = false;
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    case OverloadPolicy::kBlock: {
+      block_waits_.fetch_add(1, std::memory_order_relaxed);
+      const auto t0 = std::chrono::steady_clock::now();
+      while (size_.load(std::memory_order_relaxed) >= cap_ &&
+             !closed_.load(std::memory_order_relaxed)) {
+        // Bounded waits, re-armed by drain(): the condition is
+        // re-checked on every wake, so a missed notify costs at most
+        // one timeout, never a hang.
+        drained_.wait_for(std::chrono::microseconds(500));
+      }
+      r.blocked_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      blocked_us_.fetch_add(r.blocked_us, std::memory_order_relaxed);
+      // Land the update for real; no re-check, so racing producers can
+      // overshoot the cap by at most one each after a wake.
+      s.lock.lock();
+      s.buf.push_back(u);
+      r.prev = size_.fetch_add(1, std::memory_order_relaxed);
+      s.lock.unlock();
+      return r;
+    }
+    case OverloadPolicy::kDegrade: {
+      // The update stays admitted (with nothing left to compact the cap
+      // has to yield, or a distinct-edge burst would deadlock producers
+      // that were promised admission); shed the oldest redundant ops
+      // from this shard instead.
+      const std::size_t removed = compact_shard(s);
+      if (removed > 0)
+        compacted_.fetch_add(removed, std::memory_order_relaxed);
+      return r;
+    }
+  }
+  return r;  // unreachable; placates -Wreturn-type
 }
 
 std::size_t IngestQueue::drain(std::vector<GraphUpdate>& out) {
@@ -51,12 +157,23 @@ std::size_t IngestQueue::drain(std::vector<GraphUpdate>& out) {
     // the O(1) swap, not for the copy into `out`.
     s.lock.lock();
     grabbed.swap(s.buf);
+    s.compact_floor = 0;
     s.lock.unlock();
     drained += grabbed.size();
     out.insert(out.end(), grabbed.begin(), grabbed.end());
   }
   size_.fetch_sub(drained, std::memory_order_relaxed);
+  if (cap_ > 0 && drained > 0) drained_.notify_all();
   return drained;
+}
+
+void IngestQueue::close() {
+  closed_.store(true, std::memory_order_relaxed);
+  if (cap_ > 0) drained_.notify_all();
+}
+
+void IngestQueue::open() {
+  closed_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace parcore::engine

@@ -104,6 +104,7 @@ std::string trace_json_line(const FlushSpan& s) {
   field("inserts", s.inserts);
   field("removes", s.removes);
   field("pages_cloned", s.pages_cloned);
+  field("repair_us", s.repair_us);
   field("drain_us", s.drain_us);
   field("coalesce_us", s.coalesce_us);
   field("wal_us", s.wal_us);

@@ -28,10 +28,12 @@ struct FlushSpan {
   std::uint64_t removes = 0;   // coalesced remove batch size
   std::uint64_t pages_cloned = 0;  // COW pages cloned by the publish
 
-  // Phase wall times, microseconds. The eight phases partition the
+  // Phase wall times, microseconds. The nine phases partition the
   // flush window: they sum to flush_us up to integer rounding (the
   // acceptance bound is 10%; see docs/OBSERVABILITY.md "trace schema").
-  // wal_us and checkpoint_us stay 0 unless durability is enabled.
+  // wal_us and checkpoint_us stay 0 unless durability is enabled;
+  // repair_us stays 0 unless this flush ran a self-healing rebuild.
+  std::uint64_t repair_us = 0;     // self-healing rebuild (runs pre-drain)
   std::uint64_t drain_us = 0;
   std::uint64_t coalesce_us = 0;
   std::uint64_t wal_us = 0;        // WAL append + group fsync (durability)

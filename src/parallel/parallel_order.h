@@ -80,6 +80,12 @@ class ParallelOrderMaintainer {
   /// (Re)initialises cores/k-order/dout/mcd from the current graph.
   void rebuild();
 
+  /// Same, but overriding Options::init_workers for this call: > 0
+  /// forces the bulk parallel decomposition with that many workers.
+  /// The engine's self-healing repair uses it so the rebuild runs on
+  /// the flush workers even when cold start was configured sequential.
+  void rebuild(int init_workers);
+
   /// OurI: inserts a batch with `workers` parallel workers.
   BatchResult insert_batch(std::span<const Edge> edges, int workers);
 

@@ -26,6 +26,17 @@ class Notifier {
     cv_.notify_one();
   }
 
+  /// Wakes every waiter. Used where several threads can block on one
+  /// channel (backpressured producers waiting for a drain); a lone
+  /// notify() would wake one and leave the rest for the timeout.
+  void notify_all() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      signalled_ = true;
+    }
+    cv_.notify_all();
+  }
+
   /// Re-arms after a stop (and clears any stale signal) so the channel
   /// can serve a restarted service thread. Call only while no thread is
   /// waiting.

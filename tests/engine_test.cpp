@@ -534,6 +534,99 @@ TEST(Engine, AdaptiveThresholdMovesTowardTarget) {
   EXPECT_LT(eng.current_flush_threshold(), 4096u);
 }
 
+// -------------------------------------------------------- self-healing
+
+TEST(Engine, ReverifierQuarantinesCorruptionAndNextFlushRepairsIt) {
+  test::Workload w = test::make_workload(test::Family::kRmat, 300, 0.3, 29);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(4);
+  StreamingEngine::Options opts;
+  opts.workers = 2;
+  StreamingEngine eng(g, team, opts);
+  for (const Edge& e : w.batch) eng.submit_insert(e.u, e.v);
+  eng.flush_now();
+  const std::uint64_t epoch_before = eng.epoch();
+
+  // A clean verify pins the current snapshot as the verified fallback.
+  EXPECT_EQ(eng.run_reverify_once(), 0u);
+  EXPECT_FALSE(eng.quarantined());
+  const std::vector<CoreValue> verified = eng.snapshot()->materialize();
+
+  // Inject silent state corruption (a flipped core value, as a cosmic
+  // ray / heisenbug stand-in) and republish it.
+  const std::vector<VertexId> victims{0, 1, 2};
+  eng.corrupt_cores_for_test(victims, +1);
+  {
+    auto snap = eng.snapshot();
+    for (VertexId v : victims)
+      EXPECT_EQ(snap->core(v), verified[v] + 1) << "corruption not visible";
+  }
+
+  // The re-verifier detects the mismatch and quarantines queries: the
+  // snapshot swings back to the last VERIFIED epoch's values.
+  EXPECT_GT(eng.run_reverify_once(), 0u);
+  EXPECT_TRUE(eng.quarantined());
+  EXPECT_TRUE(eng.stats().quarantined);
+  {
+    auto snap = eng.snapshot();
+    EXPECT_EQ(snap->epoch, epoch_before);
+    for (VertexId v : victims)
+      EXPECT_EQ(snap->core(v), verified[v]) << "quarantine not serving "
+                                               "the verified snapshot";
+  }
+
+  // The next flush rebuilds from scratch, repairs the corruption, and
+  // lifts the quarantine — within one flush, as promised.
+  eng.flush_now();
+  EXPECT_FALSE(eng.quarantined());
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.repairs, 1u);
+  EXPECT_GT(stats.phases.repair_us, 0u);
+  test::expect_cores_match(g, eng.snapshot()->materialize(), "post-repair");
+
+  // And the repaired state passes a fresh verify.
+  EXPECT_EQ(eng.run_reverify_once(), 0u);
+}
+
+TEST(Engine, RepairFlushAppliesPendingSubmitsToo) {
+  // Corruption + a pending batch: one flush both repairs and applies.
+  test::Workload w = test::make_workload(test::Family::kBa, 200, 0.4, 31);
+  auto g = DynamicGraph::from_edges(w.n, w.base);
+  ThreadTeam team(2);
+  StreamingEngine eng(g, team);
+  EXPECT_EQ(eng.run_reverify_once(), 0u);
+  eng.corrupt_cores_for_test({3, 4}, +2);
+  EXPECT_GT(eng.run_reverify_once(), 0u);
+
+  for (const Edge& e : w.batch) eng.submit_insert(e.u, e.v);
+  eng.flush_now();
+  EXPECT_FALSE(eng.quarantined());
+  EXPECT_EQ(eng.stats().repairs, 1u);
+  test::expect_cores_match(g, eng.snapshot()->materialize(),
+                           "repair + apply in one flush");
+}
+
+TEST(Engine, SchedulerRunsRepairFlushWithoutNewSubmits) {
+  // With the background scheduler running, a detected mismatch must be
+  // repaired even if no further updates ever arrive: the re-verifier
+  // nudges the scheduler, whose next flush runs the rebuild.
+  auto edges = gen_clique(8);
+  auto g = DynamicGraph::from_edges(12, edges);
+  ThreadTeam team(2);
+  StreamingEngine eng(g, team);
+  eng.start();
+  EXPECT_EQ(eng.run_reverify_once(), 0u);
+  eng.corrupt_cores_for_test({0}, +3);
+  EXPECT_GT(eng.run_reverify_once(), 0u);
+  for (int spins = 0; eng.quarantined() && spins < 500; ++spins)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  eng.stop();
+  EXPECT_FALSE(eng.quarantined());
+  EXPECT_GE(eng.stats().repairs, 1u);
+  test::expect_cores_match(g, eng.snapshot()->materialize(),
+                           "background repair");
+}
+
 TEST(Histogram, PercentileBounds) {
   SizeHistogram h(100);
   for (std::size_t v = 1; v <= 100; ++v) h.record(v);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -47,6 +48,14 @@ namespace {
 
 using bench::Table;
 using bench::fmt;
+
+// SIGINT/SIGTERM request a graceful serve shutdown: producers poll the
+// flag and stop submitting, the engine drains + takes its shutdown
+// checkpoint, and the closing report still prints. sig_atomic_t is the
+// only type a handler may portably write.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_stop_signal(int) { g_interrupted = 1; }
 
 /// A bad option value (vs. a runtime failure): caught by the dispatcher
 /// and reported with the command's usage text, exit code 2.
@@ -635,9 +644,24 @@ is checked against a fresh bz_decompose unless --no-verify.
   --reverify MS   background re-verifier: every MS milliseconds a spare
                   thread recomputes the full decomposition (parallel
                   exact peel) on a consistent graph copy and diffs it
-                  against the live snapshot; mismatches are counted in
-                  parcore_verify_mismatches_total and logged (0 = off;
+                  against the live snapshot; mismatches quarantine
+                  queries to the last verified epoch until the next
+                  flush repairs the state (docs/ROBUSTNESS.md); counted
+                  in parcore_verify_mismatches_total (0 = off;
                   PARCORE_SERVE_REVERIFY_MS sets the same knob)
+  --ingest-cap N  bound the ingest buffer at N pending updates
+                  (admission control, docs/ROBUSTNESS.md; 0 = unbounded,
+                  the default; PARCORE_ENGINE_INGEST_CAP sets the same)
+  --overload POLICY  what producers hitting the cap get: `block` (wait
+                  for a drain; default), `shed` (reject, counted in
+                  parcore_admission_shed_total), `degrade` (compact the
+                  producer's shard to last-op-per-edge and admit);
+                  PARCORE_ENGINE_OVERLOAD sets the same knob
+
+SIGINT/SIGTERM stop the run gracefully: producers stop submitting, the
+engine drains, takes its shutdown checkpoint when durability is dirty,
+and the closing report still prints (exit 0; the final bz_decompose
+verification is skipped because the op stream was cut short).
 
 Engine flush policy comes from PARCORE_ENGINE_* (docs/CONFIG.md);
 PARCORE_WAL_* sets the same durability knobs environment-wide;
@@ -688,6 +712,23 @@ int cmd_serve(const Args& args) {
     const long ms = args.get_int("reverify", 0);
     if (ms < 0) throw UsageError("--reverify must be >= 0");
     opts.reverify_interval_ms = static_cast<double>(ms);
+  }
+  if (args.has("ingest-cap")) {
+    const long cap = args.get_int("ingest-cap", 0);
+    if (cap < 0) throw UsageError("--ingest-cap must be >= 0");
+    opts.ingest_cap = static_cast<std::size_t>(cap);
+  }
+  if (args.has("overload")) {
+    const std::string policy = args.get("overload");
+    if (policy == "block") {
+      opts.overload = engine::OverloadPolicy::kBlock;
+    } else if (policy == "shed") {
+      opts.overload = engine::OverloadPolicy::kShed;
+    } else if (policy == "degrade") {
+      opts.overload = engine::OverloadPolicy::kDegrade;
+    } else {
+      throw UsageError("--overload must be block, shed or degrade");
+    }
   }
 
   // --trace-out: every flush span as one JSON line. The stream must
@@ -761,17 +802,40 @@ int cmd_serve(const Args& args) {
       summaries.fetch_add(sums / 64, std::memory_order_relaxed);
     });
 
+  // Graceful shutdown: on SIGINT/SIGTERM the producers stop submitting
+  // at their next op, the engine drains what was admitted and takes its
+  // shutdown checkpoint, and the report below still prints.
+  g_interrupted = 0;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
   std::vector<std::thread> threads;
   threads.reserve(streams.size());
+  std::atomic<std::uint64_t> submitted{0};
   for (const auto& s : streams)
-    threads.emplace_back([&eng, &s] {
-      for (const GraphUpdate& u : s) eng.submit(u);
+    threads.emplace_back([&eng, &s, &submitted] {
+      std::uint64_t mine = 0;
+      for (const GraphUpdate& u : s) {
+        if (g_interrupted != 0) break;
+        eng.submit(u);
+        ++mine;
+      }
+      submitted.fetch_add(mine, std::memory_order_relaxed);
     });
   for (auto& t : threads) t.join();
   eng.stop();
   stop_readers.store(true);
   for (auto& t : reader_threads) t.join();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  const bool interrupted = g_interrupted != 0;
   const double sec = timer.elapsed_ms() / 1000.0;
+
+  if (interrupted)
+    std::printf("interrupted: stopped after %llu of %zu ops; engine "
+                "drained and shut down cleanly\n",
+                static_cast<unsigned long long>(submitted.load()),
+                ops.size());
 
   const engine::EngineStats stats = eng.stats();
   auto snap = eng.snapshot();
@@ -812,15 +876,18 @@ int cmd_serve(const Args& args) {
   {
     const engine::EngineStats::PhaseTotals& ph = stats.phases;
     const double total_ms =
-        static_cast<double>(ph.drain_us + ph.coalesce_us + ph.wal_us +
-                            ph.plan_us + ph.apply_us + ph.om_compact_us +
-                            ph.publish_us + ph.checkpoint_us) /
+        static_cast<double>(ph.repair_us + ph.drain_us + ph.coalesce_us +
+                            ph.wal_us + ph.plan_us + ph.apply_us +
+                            ph.om_compact_us + ph.publish_us +
+                            ph.checkpoint_us) /
         1000.0;
     std::printf(
-        "  phases (ms, all flushes): drain %.1f, coalesce %.1f, wal %.1f, "
+        "  phases (ms, all flushes): repair %.1f, drain %.1f, "
+        "coalesce %.1f, wal %.1f, "
         "plan %.1f, apply %.1f, om-compact %.1f, publish %.1f, "
         "checkpoint %.1f (sum %.1f)\n"
         "  workers: busy %.1f ms, idle %.1f ms (%.0f%% utilised)\n",
+        static_cast<double>(ph.repair_us) / 1000.0,
         static_cast<double>(ph.drain_us) / 1000.0,
         static_cast<double>(ph.coalesce_us) / 1000.0,
         static_cast<double>(ph.wal_us) / 1000.0,
@@ -840,6 +907,21 @@ int cmd_serve(const Args& args) {
     std::printf("  trace: %llu spans -> %s (ring retains last %zu)\n",
                 static_cast<unsigned long long>(eng.trace().recorded()),
                 trace_out.c_str(), eng.trace().capacity());
+  if (opts.ingest_cap > 0)
+    std::printf(
+        "  admission (cap %zu, %s): %llu shed, %llu block waits "
+        "(%.1f ms blocked), %llu compacted away; overloaded %s "
+        "(%llu overload flushes)\n",
+        opts.ingest_cap,
+        opts.overload == engine::OverloadPolicy::kBlock     ? "block"
+        : opts.overload == engine::OverloadPolicy::kShed    ? "shed"
+                                                            : "degrade",
+        static_cast<unsigned long long>(stats.admission.shed),
+        static_cast<unsigned long long>(stats.admission.block_waits),
+        static_cast<double>(stats.admission.blocked_us) / 1000.0,
+        static_cast<unsigned long long>(stats.admission.compacted),
+        stats.overloaded ? "yes" : "no",
+        static_cast<unsigned long long>(stats.overload_flushes));
   if (!opts.durability.dir.empty())
     std::printf(
         "  durability: %llu checkpoints, %llu WAL frames (%llu bytes, "
@@ -849,16 +931,44 @@ int cmd_serve(const Args& args) {
         static_cast<unsigned long long>(stats.durability.wal_bytes),
         static_cast<unsigned long long>(stats.durability.wal_fsyncs),
         opts.durability.dir.c_str());
+  if (!opts.durability.dir.empty() &&
+      (stats.durability_retries > 0 || stats.durability_degraded ||
+       stats.durability_rearms > 0))
+    std::printf(
+        "  durable-I/O faults: %llu retried writes, %llu re-arms%s\n",
+        static_cast<unsigned long long>(stats.durability_retries),
+        static_cast<unsigned long long>(stats.durability_rearms),
+        stats.durability_degraded
+            ? " -- DEGRADED to memory-only (durability lost; see "
+              "docs/ROBUSTNESS.md)"
+            : "");
   if (opts.reverify_interval_ms > 0.0)
     std::printf("  re-verify: %llu full decompositions, %llu mismatched "
-                "cores\n",
+                "cores, %llu self-healing repairs\n",
                 static_cast<unsigned long long>(stats.verify_runs),
-                static_cast<unsigned long long>(stats.verify_mismatches));
+                static_cast<unsigned long long>(stats.verify_mismatches),
+                static_cast<unsigned long long>(stats.repairs));
   // Arena footprint, OM reclamation, plan/steal counters and the rest
   // of the registry all render through the shared summary exporter —
   // the same bytes serve's /summary endpoint and `stats --live` return.
   print_metrics_summary(stdout);
 
+  if (interrupted) {
+    // The producers were cut short mid-stream, so the full-stream
+    // replay below would not describe the graph the engine built.
+    std::printf("interrupted: skipping final bz_decompose verification "
+                "(op stream was cut short); state was drained and "
+                "checkpointed\n");
+    return 0;
+  }
+  if (stats.admission.shed > 0 && !args.has("no-verify")) {
+    std::printf("shed %llu ops under overload: skipping final "
+                "bz_decompose verification (the accepted subset is "
+                "load-dependent; tests/ingest_test.cpp covers its "
+                "differential correctness)\n",
+                static_cast<unsigned long long>(stats.admission.shed));
+    return 0;
+  }
   if (!args.has("no-verify")) {
     // Per-edge op order is preserved inside one producer stream, so the
     // final edge set is schedule-independent: compare against a fresh
@@ -1080,7 +1190,8 @@ int cli_main(const std::vector<std::string>& args) {
        {"verify", "plan"}, cmd_maintain},
       {"serve", kServeUsage,
        {"input", "producers", "readers", "workers", "repeat", "metrics-port",
-        "trace-out", "checkpoint-dir", "checkpoint-interval", "reverify"},
+        "trace-out", "checkpoint-dir", "checkpoint-interval", "reverify",
+        "ingest-cap", "overload"},
        {"no-verify", "plan"}, cmd_serve},
       {"recover", kRecoverUsage, {"dir", "workers", "verify"}, {"no-verify"},
        cmd_recover},

@@ -45,12 +45,20 @@ ROW_FIELDS = {
         "wal_us", "checkpoint_us", "wal_frames", "wal_bytes", "wal_fsyncs",
         "checkpoints",
     ],
+    "overload": [
+        "mode", "cap", "producers", "workers", "seconds",
+        "updates_per_sec", "epochs", "p99_flush_ms",
+        # What each admission policy actually did to the stream.
+        "shed", "block_waits", "blocked_us", "compacted",
+        "overload_flushes",
+    ],
 }
 
 # Optional off/on overhead cell pairs (bench_engine_throughput emits
-# obs_overhead, bench_durability emits wal_overhead; the CLI's
-# file-driven variants emit neither). Same field triple for both.
-OVERHEAD_OBJECTS = ("obs_overhead", "wal_overhead")
+# obs_overhead, bench_durability emits wal_overhead, bench_overload
+# emits admission_overhead; the CLI's file-driven variants emit none).
+# Same field triple for all.
+OVERHEAD_OBJECTS = ("obs_overhead", "wal_overhead", "admission_overhead")
 
 STRING_FIELDS = {"policy", "workload", "mode", "algo"}
 
