@@ -82,13 +82,14 @@ void JeGraph::append_edge(VertexId u, VertexId v) {
   for (VertexId a : {u, v}) {
     const VertexId b = a == u ? v : u;
     AdjList& list = adj_[a];
-    list.append_lock.lock();
-    const std::uint32_t idx = list.size.load(std::memory_order_relaxed);
-    // reserve_for must have been called with this batch.
-    if (idx >= list.capacity) std::abort();
-    list.slots[idx].store(b, std::memory_order_relaxed);
-    list.size.store(idx + 1, std::memory_order_release);
-    list.append_lock.unlock();
+    {
+      SpinGuard g(list.append_lock);
+      const std::uint32_t idx = list.size.load(std::memory_order_relaxed);
+      // reserve_for must have been called with this batch.
+      if (idx >= list.capacity) std::abort();
+      list.slots[idx].store(b, std::memory_order_relaxed);
+      list.size.store(idx + 1, std::memory_order_release);
+    }
     list.live.fetch_add(1, std::memory_order_relaxed);
   }
   num_edges_.fetch_add(1, std::memory_order_relaxed);
@@ -377,8 +378,8 @@ std::size_t JeMaintainer::run_rounds(std::span<const Edge> edges,
         // {k-1, k}; acquiring ascending prevents deadlock.
         const CoreValue lo = kInsert ? k : k - 1;
         const CoreValue hi = kInsert ? k + 1 : k;
-        level_locks_[static_cast<std::size_t>(lo)].lock();
-        level_locks_[static_cast<std::size_t>(hi)].lock();
+        SpinGuard glo(level_locks_[static_cast<std::size_t>(lo)]);
+        SpinGuard ghi(level_locks_[static_cast<std::size_t>(hi)]);
         for (const Edge& e : group) {
           const CoreValue know =
               std::min(core_[e.u].load(std::memory_order_relaxed),
@@ -391,8 +392,6 @@ std::size_t JeMaintainer::run_rounds(std::span<const Edge> edges,
                                   : traversal_remove(ctx, e, k);
           if (ok) ++local_done;
         }
-        level_locks_[static_cast<std::size_t>(hi)].unlock();
-        level_locks_[static_cast<std::size_t>(lo)].unlock();
       }
       done.fetch_add(local_done, std::memory_order_relaxed);
     });

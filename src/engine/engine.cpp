@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include "decomp/core_query.h"
 #include "decomp/parallel_peel.h"
@@ -78,9 +77,10 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
   stats_.snapshot_pages_cloned += index_.last_pages_cloned();
   obs_.pages_cloned->add(index_.last_pages_cloned());
   auto snap = build_snapshot(0, std::move(view));
-  snap_mu_.lock();
-  snap_ = std::move(snap);
-  snap_mu_.unlock();
+  {
+    SpinGuard g(snap_mu_);
+    snap_ = std::move(snap);
+  }
   stats_.memory = graph_.memory_stats();
   stats_.memory_epoch = 0;
   obs_.threshold->set(static_cast<std::int64_t>(
@@ -96,7 +96,7 @@ StreamingEngine::StreamingEngine(DynamicGraph& g, ThreadTeam& team,
     durability_ = std::make_unique<durability::Manager>(opts_.durability);
     durable_io([&] { durability_->checkpoint(make_checkpoint(0)); },
                "initial checkpoint");
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexGuard lk(stats_mu_);
     stats_.durability = durability_->totals();
   }
 
@@ -149,7 +149,7 @@ void StreamingEngine::stop() {
   // memory sample so post-run stats reflect the final graph even when
   // the run was shorter than om_compact_interval.
   {
-    std::lock_guard<std::mutex> lk(flush_mu_);
+    MutexGuard lk(flush_mu_);
     // Shutdown checkpoint: anything logged since the last periodic one
     // becomes part of a fresh generation, so a clean stop never needs
     // WAL replay on the next recover. Skipped while degraded — the
@@ -159,11 +159,11 @@ void StreamingEngine::stop() {
       durable_io(
           [&] { durability_->checkpoint(make_checkpoint(published_epoch_)); },
           "shutdown checkpoint");
-      std::lock_guard<std::mutex> lk2(stats_mu_);
+      MutexGuard lk2(stats_mu_);
       stats_.durability = durability_->totals();
     }
     const GraphMemoryStats mem = graph_.memory_stats();
-    std::lock_guard<std::mutex> lk2(stats_mu_);
+    MutexGuard lk2(stats_mu_);
     stats_.memory = mem;
     stats_.memory_epoch = stats_.epochs;
   }
@@ -202,7 +202,7 @@ void StreamingEngine::scheduler_loop() {
     // at the next quiescent point whether or not producers are active.
     if (queue_.approx_size() > 0 ||
         repair_requested_.load(std::memory_order_relaxed)) {
-      std::lock_guard<std::mutex> lk(flush_mu_);
+      MutexGuard lk(flush_mu_);
       flush_locked();
     }
     if (stopping) return;
@@ -250,11 +250,10 @@ std::size_t StreamingEngine::run_reverify_once() {
   std::unique_ptr<DynamicGraph> copy;
   std::shared_ptr<const EngineSnapshot> at;
   {
-    std::lock_guard<std::mutex> lk(flush_mu_);
+    MutexGuard lk(flush_mu_);
     copy = std::make_unique<DynamicGraph>(graph_);
-    snap_mu_.lock();
+    SpinGuard g(snap_mu_);
     at = snap_;
-    snap_mu_.unlock();
   }
 
   WallTimer timer;
@@ -277,9 +276,8 @@ std::size_t StreamingEngine::run_reverify_once() {
   if (mismatches == 0) {
     // Clean pass: this snapshot becomes the quarantine fallback the
     // next mismatch pins queries to.
-    snap_mu_.lock();
+    SpinGuard g(snap_mu_);
     verified_snap_ = at;
-    snap_mu_.unlock();
   } else {
     std::fprintf(stderr,
                  "[parcore verify] epoch=%llu: %zu cores diverge from "
@@ -293,7 +291,7 @@ std::size_t StreamingEngine::run_reverify_once() {
     // idle producers.
     notifier_.notify();
   }
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexGuard lk(stats_mu_);
   ++stats_.verify_runs;
   stats_.verify_mismatches += mismatches;
   stats_.quarantined = quarantined_.load(std::memory_order_relaxed);
@@ -301,7 +299,7 @@ std::size_t StreamingEngine::run_reverify_once() {
 }
 
 std::uint64_t StreamingEngine::flush_now() {
-  std::lock_guard<std::mutex> lk(flush_mu_);
+  MutexGuard lk(flush_mu_);
   return flush_locked();
 }
 
@@ -492,7 +490,7 @@ std::uint64_t StreamingEngine::flush_locked() {
   const IngestQueue::AdmissionStats adm = queue_.admission();
 
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexGuard lk(stats_mu_);
     stats_.epochs = epoch;
     stats_.applied_inserts += ins.applied;
     stats_.applied_removes += rem.applied;
@@ -536,13 +534,14 @@ std::uint64_t StreamingEngine::flush_locked() {
   // Swap the snapshot in only AFTER its stats are published: a reader
   // that grabs snapshot() then stats() can never observe epoch e paired
   // with stats from e-1 (the pre-ISSUE-5 snapshot/stats tear).
-  snap_mu_.lock();
-  // A repaired snapshot was just recomputed from scratch: it is by
-  // construction verified, so it both lifts the quarantine and becomes
-  // the new fallback for the next mismatch.
-  if (repaired) verified_snap_ = snap;
-  snap_ = std::move(snap);
-  snap_mu_.unlock();
+  {
+    SpinGuard g(snap_mu_);
+    // A repaired snapshot was just recomputed from scratch: it is by
+    // construction verified, so it both lifts the quarantine and
+    // becomes the new fallback for the next mismatch.
+    if (repaired) verified_snap_ = snap;
+    snap_ = std::move(snap);
+  }
   if (repaired) {
     quarantined_.store(false, std::memory_order_relaxed);
     obs_.quarantined->set(0);
@@ -590,7 +589,7 @@ bool StreamingEngine::durable_io(const std::function<void()>& op,
       op();
       if (attempt > 0) {
         obs_.durability_retries->add(static_cast<std::uint64_t>(attempt));
-        std::lock_guard<std::mutex> lk(stats_mu_);
+        MutexGuard lk(stats_mu_);
         stats_.durability_retries += static_cast<std::uint64_t>(attempt);
       }
       return true;
@@ -610,7 +609,7 @@ bool StreamingEngine::durable_io(const std::function<void()>& op,
                      "(%s) — degrading to memory-only mode at epoch %llu\n",
                      what, attempt + 1, e.what(),
                      static_cast<unsigned long long>(published_epoch_));
-        std::lock_guard<std::mutex> lk(stats_mu_);
+        MutexGuard lk(stats_mu_);
         stats_.durability_retries += static_cast<std::uint64_t>(attempt);
         stats_.durability_degraded = true;
         stats_.durability_degraded_epoch = published_epoch_;
@@ -653,7 +652,7 @@ void StreamingEngine::try_rearm_durability(std::uint64_t epoch) {
                "[parcore durability] re-armed at epoch %llu (fresh "
                "checkpoint generation)\n",
                static_cast<unsigned long long>(epoch));
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexGuard lk(stats_mu_);
   ++stats_.durability_rearms;
   stats_.durability_degraded = false;
   stats_.durability = durability_->totals();
@@ -661,7 +660,7 @@ void StreamingEngine::try_rearm_durability(std::uint64_t epoch) {
 
 void StreamingEngine::corrupt_cores_for_test(
     const std::vector<VertexId>& vertices, CoreValue delta) {
-  std::lock_guard<std::mutex> lk(flush_mu_);
+  MutexGuard lk(flush_mu_);
   for (VertexId v : vertices) {
     std::atomic<CoreValue>& c = maintainer_.state().core(v);
     c.store(static_cast<CoreValue>(c.load(std::memory_order_relaxed) + delta),
@@ -674,9 +673,8 @@ void StreamingEngine::corrupt_cores_for_test(
   query::CoreView view = index_.publish(
       vertices, [this](VertexId v) { return maintainer_.core(v); });
   auto snap = build_snapshot(published_epoch_, std::move(view));
-  snap_mu_.lock();
+  SpinGuard g(snap_mu_);
   snap_ = std::move(snap);
-  snap_mu_.unlock();
 }
 
 io::PcgCheckpoint StreamingEngine::make_checkpoint(std::uint64_t epoch) {
@@ -720,17 +718,14 @@ void StreamingEngine::adapt_threshold(double flush_ms, std::size_t raw) {
 }
 
 std::shared_ptr<const EngineSnapshot> StreamingEngine::snapshot() const {
-  snap_mu_.lock();
+  SpinGuard g(snap_mu_);
   // While quarantined, queries are pinned to the last VERIFIED epoch:
   // a snapshot known wrong must not be served while the repair flush is
   // in flight (docs/ROBUSTNESS.md). The repair publishes a fresh
   // verified snapshot and lifts the pin.
-  std::shared_ptr<const EngineSnapshot> s =
-      quarantined_.load(std::memory_order_relaxed) && verified_snap_
-          ? verified_snap_
-          : snap_;
-  snap_mu_.unlock();
-  return s;
+  return quarantined_.load(std::memory_order_relaxed) && verified_snap_
+             ? verified_snap_
+             : snap_;
 }
 
 EngineStats StreamingEngine::stats() const {
@@ -740,23 +735,26 @@ EngineStats StreamingEngine::stats() const {
   // flush is never blocked, and the O(n) scan runs outside stats_mu_ so
   // concurrent readers are never blocked either.
   if (opts_.memory_refresh_epochs > 0) {
-    std::unique_lock<std::mutex> fl(flush_mu_, std::try_to_lock);
-    if (fl.owns_lock()) {
+    // Adopt-guard try-lock idiom (sync/mutex.h): the analysis tracks
+    // the acquisition through try_lock() and the release through the
+    // adopting guard's destructor.
+    if (flush_mu_.try_lock()) {
+      MutexGuard fl(flush_mu_, kAdoptLock);
       bool stale = false;
       {
-        std::lock_guard<std::mutex> lk(stats_mu_);
+        MutexGuard lk(stats_mu_);
         stale = stats_.epochs - stats_.memory_epoch >=
                 opts_.memory_refresh_epochs;
       }
       if (stale) {
         const GraphMemoryStats mem = graph_.memory_stats();
-        std::lock_guard<std::mutex> lk(stats_mu_);
+        MutexGuard lk(stats_mu_);
         stats_.memory = mem;
         stats_.memory_epoch = stats_.epochs;
       }
     }
   }
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexGuard lk(stats_mu_);
   EngineStats s = stats_;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   // Live rather than flush-latest: a shed/blocked producer shows up in
@@ -794,7 +792,7 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
     else if (policy == "block")
       base.overload = OverloadPolicy::kBlock;
   }
-  if (std::getenv("PARCORE_ENGINE_ADAPTIVE") != nullptr)
+  if (env_present("PARCORE_ENGINE_ADAPTIVE"))
     base.adaptive = env_flag("PARCORE_ENGINE_ADAPTIVE");
   base.target_flush_ms =
       env_double("PARCORE_ENGINE_TARGET_FLUSH_MS", base.target_flush_ms);
@@ -805,7 +803,7 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
   base.om_compact_interval = static_cast<std::size_t>(
       env_int("PARCORE_ENGINE_OM_COMPACT_INTERVAL",
               static_cast<long>(base.om_compact_interval)));
-  if (std::getenv("PARCORE_ENGINE_SNAPSHOT_GRAPH") != nullptr)
+  if (env_present("PARCORE_ENGINE_SNAPSHOT_GRAPH"))
     base.snapshot_graph = env_flag("PARCORE_ENGINE_SNAPSHOT_GRAPH");
   base.memory_refresh_epochs = static_cast<std::size_t>(std::max(
       env_int("PARCORE_ENGINE_MEMORY_REFRESH",
@@ -831,7 +829,7 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
       env_int("PARCORE_ENGINE_SNAPSHOT_PAGE",
               static_cast<long>(base.snapshot_page)),
       1L));
-  if (std::getenv("PARCORE_ENGINE_PLAN") != nullptr)
+  if (env_present("PARCORE_ENGINE_PLAN"))
     base.maintainer.schedule = env_flag("PARCORE_ENGINE_PLAN")
                                    ? ScheduleMode::kPlan
                                    : ScheduleMode::kDynamic;
@@ -852,7 +850,7 @@ StreamingEngine::Options options_from_env(StreamingEngine::Options base) {
       env_int("PARCORE_WAL_CHECKPOINT_INTERVAL",
               static_cast<long>(base.durability.checkpoint_interval)),
       0L));
-  if (std::getenv("PARCORE_WAL_FSYNC") != nullptr)
+  if (env_present("PARCORE_WAL_FSYNC"))
     base.durability.fsync = env_flag("PARCORE_WAL_FSYNC");
   base.durability.retain = static_cast<std::size_t>(std::max(
       env_int("PARCORE_WAL_RETAIN",

@@ -28,7 +28,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -45,6 +44,8 @@
 #include "support/histogram.h"
 #include "support/timer.h"
 #include "support/types.h"
+#include "sync/annotations.h"
+#include "sync/mutex.h"
 #include "sync/notify.h"
 #include "sync/spinlock.h"
 #include "sync/thread_team.h"
@@ -365,25 +366,28 @@ class StreamingEngine {
   void scheduler_loop();
   void reporter_loop();
   void reverifier_loop();
-  std::uint64_t flush_locked();  // requires flush_mu_
+  std::uint64_t flush_locked() PARCORE_REQUIRES(flush_mu_);
   /// Runs `op` (a durability call) with bounded retry/backoff; on
   /// persistent io::IoError degrades the engine to memory-only mode
   /// instead of letting the error escape the flush path. Returns false
-  /// iff degraded. Requires flush_mu_.
-  bool durable_io(const std::function<void()>& op, const char* what);
+  /// iff degraded.
+  bool durable_io(const std::function<void()>& op, const char* what)
+      PARCORE_REQUIRES(flush_mu_);
   /// Re-arm attempt: while degraded, periodically try a full fresh
-  /// checkpoint; success resumes WAL logging. Requires flush_mu_.
-  void try_rearm_durability(std::uint64_t epoch);
-  /// Wraps an already-published view into the snapshot for `epoch`
-  /// (requires flush_mu_), adding max core / edge count / the optional
-  /// graph copy. Does NOT swap it in — the caller updates stats first,
-  /// then swaps, so readers never see an epoch whose stats lag it.
+  /// checkpoint; success resumes WAL logging.
+  void try_rearm_durability(std::uint64_t epoch) PARCORE_REQUIRES(flush_mu_);
+  /// Wraps an already-published view into the snapshot for `epoch`,
+  /// adding max core / edge count / the optional graph copy. Does NOT
+  /// swap it in — the caller updates stats first, then swaps, so
+  /// readers never see an epoch whose stats lag it.
   std::shared_ptr<EngineSnapshot> build_snapshot(std::uint64_t epoch,
-                                                 query::CoreView view);
+                                                 query::CoreView view)
+      PARCORE_REQUIRES(flush_mu_);
   void adapt_threshold(double flush_ms, std::size_t raw);
-  /// Full durable image of the current state (requires flush_mu_ — the
-  /// graph walk and save_order need quiescence).
-  io::PcgCheckpoint make_checkpoint(std::uint64_t epoch);
+  /// Full durable image of the current state (the graph walk and
+  /// save_order need the quiescence the flush lock provides).
+  io::PcgCheckpoint make_checkpoint(std::uint64_t epoch)
+      PARCORE_REQUIRES(flush_mu_);
 
   DynamicGraph& graph_;
   Options opts_;
@@ -398,7 +402,7 @@ class StreamingEngine {
   // Checkpoint/WAL lifecycle; null unless Options::durability.dir is
   // set. Touched only under flush_mu_ (WAL appends and checkpoints are
   // part of the flush window by design).
-  std::unique_ptr<durability::Manager> durability_;
+  std::unique_ptr<durability::Manager> durability_ PARCORE_GUARDED_BY(flush_mu_);
 
   std::thread scheduler_;
   std::thread reporter_;
@@ -410,15 +414,16 @@ class StreamingEngine {
   // Serialises flushes (scheduler vs flush_now) — the maintainer runs
   // one batch at a time by contract. Mutable: stats() try-locks it for
   // the lazy memory refresh (never blocks; see EngineStats::memory).
-  mutable std::mutex flush_mu_;
+  mutable Mutex flush_mu_;
   std::atomic<std::size_t> threshold_;
-  std::size_t flushes_since_compact_ = 0;  // guarded by flush_mu_
+  std::size_t flushes_since_compact_ PARCORE_GUARDED_BY(flush_mu_) = 0;
 
   // Paged COW snapshot publication state; single-writer under
   // flush_mu_ (the constructor runs before any reader exists).
-  query::VersionedCoreIndex index_;
-  std::vector<VertexId> dirty_;            // per-flush changed-vertex union
-  std::uint64_t published_epoch_ = 0;      // guarded by flush_mu_
+  query::VersionedCoreIndex index_ PARCORE_GUARDED_BY(flush_mu_);
+  // Per-flush changed-vertex union.
+  std::vector<VertexId> dirty_ PARCORE_GUARDED_BY(flush_mu_);
+  std::uint64_t published_epoch_ PARCORE_GUARDED_BY(flush_mu_) = 0;
 
   // Snapshot publication: writers swap the pointer under snap_mu_,
   // readers copy the shared_ptr under the same spinlock (held for the
@@ -426,8 +431,9 @@ class StreamingEngine {
   // verified_snap_ (the newest snapshot a re-verify pass confirmed)
   // instead of snap_.
   mutable Spinlock snap_mu_;
-  std::shared_ptr<const EngineSnapshot> snap_;
-  std::shared_ptr<const EngineSnapshot> verified_snap_;
+  std::shared_ptr<const EngineSnapshot> snap_ PARCORE_GUARDED_BY(snap_mu_);
+  std::shared_ptr<const EngineSnapshot> verified_snap_
+      PARCORE_GUARDED_BY(snap_mu_);
 
   // Self-healing state (docs/ROBUSTNESS.md): the re-verifier sets both
   // flags on mismatch; the next flush performs the rebuild, clears
@@ -439,20 +445,22 @@ class StreamingEngine {
   // durability_ itself). While degraded the Manager stays alive but
   // unused; try_rearm_durability() attempts a fresh full checkpoint on
   // the rearm_interval_ms cadence.
-  bool durability_degraded_ = false;
-  std::uint64_t degraded_epoch_ = 0;
-  std::chrono::steady_clock::time_point last_rearm_attempt_{};
+  bool durability_degraded_ PARCORE_GUARDED_BY(flush_mu_) = false;
+  std::uint64_t degraded_epoch_ PARCORE_GUARDED_BY(flush_mu_) = 0;
+  std::chrono::steady_clock::time_point last_rearm_attempt_
+      PARCORE_GUARDED_BY(flush_mu_){};
 
   // Overload detector state (scheduler/flush thread only).
-  bool overloaded_ = false;
+  bool overloaded_ PARCORE_GUARDED_BY(flush_mu_) = false;
   // Last-exported admission totals, so per-flush obs updates add
   // deltas instead of re-adding cumulative counts.
-  IngestQueue::AdmissionStats admission_exported_{};
+  IngestQueue::AdmissionStats admission_exported_ PARCORE_GUARDED_BY(flush_mu_){};
 
   // Stats: counters written only by the flushing thread under
   // flush_mu_, read under stats_mu_ by stats().
-  mutable std::mutex stats_mu_;
-  mutable EngineStats stats_;  // stats() refreshes `memory` lazily
+  mutable Mutex stats_mu_;
+  // stats() refreshes `memory` lazily.
+  mutable EngineStats stats_ PARCORE_GUARDED_BY(stats_mu_);
   std::atomic<std::uint64_t> submitted_{0};
 
   // Observability: the per-flush span ring plus cached handles into the

@@ -35,16 +35,13 @@ IngestQueue::Shard& IngestQueue::shard_for_this_thread() {
 }
 
 std::size_t IngestQueue::compact_shard(Shard& s) {
-  s.lock.lock();
+  SpinGuard g(s.lock);
   const std::size_t before = s.buf.size();
   // Amortization guard: don't re-scan until the shard has roughly
   // doubled past the last compaction's survivor count. Without it an
   // all-distinct stream at the cap would pay a futile O(size) scan per
   // push (observed as a ~500x throughput collapse in bench_overload).
-  if (before < s.compact_floor * 2 + 16) {
-    s.lock.unlock();
-    return 0;
-  }
+  if (before < s.compact_floor * 2 + 16) return 0;
   if (before > 1) {
     // Walk back to front keeping only each edge's LAST op, then restore
     // order. Dropping an edge's earlier ops cannot change what the
@@ -64,45 +61,41 @@ std::size_t IngestQueue::compact_shard(Shard& s) {
   s.compact_floor = s.buf.size();
   const std::size_t removed = before - s.buf.size();
   if (removed > 0) size_.fetch_sub(removed, std::memory_order_relaxed);
-  s.lock.unlock();
   return removed;
 }
 
 PushResult IngestQueue::push(const GraphUpdate& u) {
   PushResult r;
   Shard& s = shard_for_this_thread();
-  s.lock.lock();
-  s.buf.push_back(u);
-  // Counted inside the critical section: once drain() can observe the
-  // update (it takes this lock), its increment has landed, so the
-  // drain-side fetch_sub can never underflow the counter.
-  r.prev = size_.fetch_add(1, std::memory_order_relaxed);
-  // Optimistic admission: the fetch_add the unbounded path already pays
-  // doubles as the at-cap probe, so an under-cap push costs one register
-  // compare over the unbounded queue. (A separate pre-push size_ load
-  // re-contends the hottest cache line before its own RMW and measurably
-  // taxed admission-on throughput — the <=2% gate is why the probe is
-  // the RMW itself.) At-cap handling enters with the lock still held so
-  // kShed/kBlock can retract the speculative insert before any drain
-  // could deliver it.
-  if (cap_ > 0 && r.prev >= cap_ &&
-      !closed_.load(std::memory_order_relaxed)) {
-    return push_at_cap(s, u, r);
+  bool at_cap = false;
+  {
+    SpinGuard g(s.lock);
+    s.buf.push_back(u);
+    // Counted inside the critical section: once drain() can observe the
+    // update (it takes this lock), its increment has landed, so the
+    // drain-side fetch_sub can never underflow the counter.
+    r.prev = size_.fetch_add(1, std::memory_order_relaxed);
+    // Optimistic admission: the fetch_add the unbounded path already
+    // pays doubles as the at-cap probe, so an under-cap push costs one
+    // register compare over the unbounded queue. (A separate pre-push
+    // size_ load re-contends the hottest cache line before its own RMW
+    // and measurably taxed admission-on throughput — the <=2% gate is
+    // why the probe is the RMW itself.) kShed/kBlock retract the
+    // speculative insert under this same lock hold, so a drain can
+    // never deliver an update whose push will report accepted == false.
+    at_cap = cap_ > 0 && r.prev >= cap_ &&
+             !closed_.load(std::memory_order_relaxed);
+    if (at_cap && policy_ != OverloadPolicy::kDegrade) {
+      s.buf.pop_back();
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
-  s.lock.unlock();
+  if (at_cap) return push_at_cap(s, u, r);
   return r;
 }
 
 PushResult IngestQueue::push_at_cap(Shard& s, const GraphUpdate& u,
                                     PushResult r) {
-  if (policy_ != OverloadPolicy::kDegrade) {
-    // kShed and kBlock both take the update back out under the same
-    // lock hold that inserted it — a concurrent drain can never see a
-    // shed update or a blocked producer's update before its wait ends.
-    s.buf.pop_back();
-    size_.fetch_sub(1, std::memory_order_relaxed);
-  }
-  s.lock.unlock();
   // Poke the consumer before the policy acts: a blocking producer
   // wants the drain it is about to wait on already scheduled.
   if (overflow_ != nullptr) overflow_->notify();
@@ -128,10 +121,11 @@ PushResult IngestQueue::push_at_cap(Shard& s, const GraphUpdate& u,
       blocked_us_.fetch_add(r.blocked_us, std::memory_order_relaxed);
       // Land the update for real; no re-check, so racing producers can
       // overshoot the cap by at most one each after a wake.
-      s.lock.lock();
-      s.buf.push_back(u);
-      r.prev = size_.fetch_add(1, std::memory_order_relaxed);
-      s.lock.unlock();
+      {
+        SpinGuard g(s.lock);
+        s.buf.push_back(u);
+        r.prev = size_.fetch_add(1, std::memory_order_relaxed);
+      }
       return r;
     }
     case OverloadPolicy::kDegrade: {
@@ -155,10 +149,11 @@ std::size_t IngestQueue::drain(std::vector<GraphUpdate>& out) {
     grabbed.clear();
     // Swap under the lock, splice outside it: producers stall only for
     // the O(1) swap, not for the copy into `out`.
-    s.lock.lock();
-    grabbed.swap(s.buf);
-    s.compact_floor = 0;
-    s.lock.unlock();
+    {
+      SpinGuard g(s.lock);
+      grabbed.swap(s.buf);
+      s.compact_floor = 0;
+    }
     drained += grabbed.size();
     out.insert(out.end(), grabbed.begin(), grabbed.end());
   }

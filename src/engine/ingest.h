@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "support/types.h"
+#include "sync/annotations.h"
 #include "sync/notify.h"
 #include "sync/spinlock.h"
 
@@ -131,22 +132,22 @@ class IngestQueue {
   // never ping-pong a line (the vectors' heap blocks are disjoint).
   struct alignas(64) Shard {
     Spinlock lock;
-    std::vector<GraphUpdate> buf;
-    // kDegrade amortization: survivors of the last compaction (guarded
-    // by `lock`). The next compaction is skipped until the shard has
-    // roughly doubled past this floor, so an all-distinct stream pays
-    // O(1) amortized per push instead of O(size) — at the price of at
-    // most 2x floor + O(1) extra occupancy per shard.
-    std::size_t compact_floor = 0;
+    std::vector<GraphUpdate> buf PARCORE_GUARDED_BY(lock);
+    // kDegrade amortization: survivors of the last compaction. The next
+    // compaction is skipped until the shard has roughly doubled past
+    // this floor, so an all-distinct stream pays O(1) amortized per
+    // push instead of O(size) — at the price of at most 2x floor + O(1)
+    // extra occupancy per shard.
+    std::size_t compact_floor PARCORE_GUARDED_BY(lock) = 0;
   };
 
   Shard& shard_for_this_thread();
-  /// Overload slow path. Entered with `s.lock` HELD and `u` already
-  /// speculatively inserted + counted (r.prev = the fetch_add probe
-  /// that tripped the cap); returns with the lock released after
-  /// applying the policy. Keeping the hot path's lock across the
-  /// retract is what makes shed exact: a drain can never deliver an
-  /// update whose push reported accepted == false.
+  /// Overload slow path, entered lock-free: push() already retracted
+  /// the speculative insert (kShed/kBlock) or left it admitted
+  /// (kDegrade) under the same lock hold that inserted it — that one
+  /// hold is what makes shed exact: a drain can never deliver an update
+  /// whose push reported accepted == false. r.prev carries the
+  /// fetch_add probe that tripped the cap.
   PushResult push_at_cap(Shard& s, const GraphUpdate& u, PushResult r);
   /// Per-edge last-op-wins over one shard, survivors keeping their
   /// relative order. Returns ops removed; adjusts size_.

@@ -42,6 +42,10 @@ SlabStore::~SlabStore() {
   if (shards_ == nullptr) return;  // moved-from
   std::int64_t reserved = 0, chunks = 0;
   for (std::size_t i = 0; i < num_shards_; ++i) {
+    // Uncontended at destruction; the guard keeps the accesses visibly
+    // inside the discipline rather than leaning on the analysis'
+    // constructor/destructor exemption.
+    SpinGuard g(shards_[i].lock);
     reserved += static_cast<std::int64_t>(shards_[i].reserved_bytes);
     chunks += static_cast<std::int64_t>(shards_[i].chunk_count +
                                         shards_[i].jumbo_count);
@@ -60,45 +64,47 @@ std::size_t SlabStore::size_class(std::size_t min_entries) {
 VertexId* SlabStore::allocate(std::size_t cls, std::size_t shard_hint) {
   const std::size_t bytes = class_bytes(cls);
   Shard& s = shards_[shard_hint % num_shards_];
-  s.lock.lock();
-  if (FreeNode* node = s.free_lists[cls]) {
-    s.free_lists[cls] = node->next;
-    s.freelist_bytes -= bytes;
-    s.lock.unlock();
-    return reinterpret_cast<VertexId*>(node);
-  }
-  std::byte* out;
-  std::int64_t grew_bytes = 0;  // gauge deltas, applied after unlock
-  if (cls <= max_chunk_class_) {
-    if (s.bump_left < bytes) {
-      // The chunk remainder is abandoned (counted as reserved slack).
-      // Chunks grow geometrically toward the chunk_bytes ceiling; every
-      // slab here is <= chunk_bytes so the fresh chunk always fits it.
-      std::size_t size = s.next_chunk_bytes != 0
-                             ? s.next_chunk_bytes
-                             : std::min(opts_.chunk_bytes, kInitialChunkBytes);
-      if (size < bytes) size = bytes;
-      s.next_chunk_bytes = std::min(size * 4, opts_.chunk_bytes);
-      auto chunk = std::make_unique<std::byte[]>(size);
-      s.bump = chunk.get();
-      s.bump_left = size;
-      s.blocks.push_back(std::move(chunk));
-      s.reserved_bytes += size;
-      ++s.chunk_count;
-      grew_bytes = static_cast<std::int64_t>(size);
+  std::byte* out = nullptr;
+  std::int64_t grew_bytes = 0;  // gauge deltas, applied after the guard
+  {
+    SpinGuard g(s.lock);
+    if (FreeNode* node = s.free_lists[cls]) {
+      s.free_lists[cls] = node->next;
+      s.freelist_bytes -= bytes;
+      return reinterpret_cast<VertexId*>(node);
     }
-    out = s.bump;
-    s.bump += bytes;
-    s.bump_left -= bytes;
-  } else {
-    auto jumbo = std::make_unique<std::byte[]>(bytes);
-    out = jumbo.get();
-    s.blocks.push_back(std::move(jumbo));
-    s.reserved_bytes += bytes;
-    ++s.jumbo_count;
-    grew_bytes = static_cast<std::int64_t>(bytes);
+    if (cls <= max_chunk_class_) {
+      if (s.bump_left < bytes) {
+        // The chunk remainder is abandoned (counted as reserved slack).
+        // Chunks grow geometrically toward the chunk_bytes ceiling;
+        // every slab here is <= chunk_bytes so the fresh chunk always
+        // fits it.
+        std::size_t size =
+            s.next_chunk_bytes != 0
+                ? s.next_chunk_bytes
+                : std::min(opts_.chunk_bytes, kInitialChunkBytes);
+        if (size < bytes) size = bytes;
+        s.next_chunk_bytes = std::min(size * 4, opts_.chunk_bytes);
+        auto chunk = std::make_unique<std::byte[]>(size);
+        s.bump = chunk.get();
+        s.bump_left = size;
+        s.blocks.push_back(std::move(chunk));
+        s.reserved_bytes += size;
+        ++s.chunk_count;
+        grew_bytes = static_cast<std::int64_t>(size);
+      }
+      out = s.bump;
+      s.bump += bytes;
+      s.bump_left -= bytes;
+    } else {
+      auto jumbo = std::make_unique<std::byte[]>(bytes);
+      out = jumbo.get();
+      s.blocks.push_back(std::move(jumbo));
+      s.reserved_bytes += bytes;
+      ++s.jumbo_count;
+      grew_bytes = static_cast<std::int64_t>(bytes);
+    }
   }
-  s.lock.unlock();
   if (grew_bytes != 0) {
     arena_reserved_gauge().add(grew_bytes);
     arena_chunks_gauge().add(1);
@@ -113,23 +119,21 @@ void SlabStore::deallocate(VertexId* slab, std::size_t cls,
   // free-list node fits in place.
   auto* node = reinterpret_cast<FreeNode*>(slab);
   Shard& s = shards_[shard_hint % num_shards_];
-  s.lock.lock();
+  SpinGuard g(s.lock);
   node->next = s.free_lists[cls];
   s.free_lists[cls] = node;
   s.freelist_bytes += class_bytes(cls);
-  s.lock.unlock();
 }
 
 SlabStoreStats SlabStore::stats() const {
   SlabStoreStats out;
   for (std::size_t i = 0; i < num_shards_; ++i) {
     const Shard& s = shards_[i];
-    s.lock.lock();
+    SpinGuard g(s.lock);
     out.reserved_bytes += s.reserved_bytes;
     out.freelist_bytes += s.freelist_bytes;
     out.chunk_count += s.chunk_count;
     out.jumbo_count += s.jumbo_count;
-    s.lock.unlock();
   }
   return out;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "support/types.h"
+#include "sync/annotations.h"
 #include "sync/spinlock.h"
 
 namespace parcore {
@@ -101,17 +102,24 @@ class SlabStore {
     FreeNode* next;
   };
 
-  struct Shard {
+  // alignas(64): shards are indexed by thread; without the padding,
+  // neighbouring shards share a cache line and every bump-pointer
+  // update ping-pongs the line between allocating threads.
+  struct alignas(64) Shard {
     mutable Spinlock lock;
-    std::vector<std::unique_ptr<std::byte[]>> blocks;  // chunks + jumbos
-    std::byte* bump = nullptr;   // next free byte of the current chunk
-    std::size_t bump_left = 0;   // bytes remaining in the current chunk
-    std::size_t next_chunk_bytes = 0;  // geometric schedule (0 = unset)
-    FreeNode* free_lists[kMaxClasses] = {};
-    std::size_t reserved_bytes = 0;
-    std::size_t freelist_bytes = 0;
-    std::size_t chunk_count = 0;
-    std::size_t jumbo_count = 0;
+    // chunks + jumbos
+    std::vector<std::unique_ptr<std::byte[]>> blocks PARCORE_GUARDED_BY(lock);
+    // next free byte of the current chunk
+    std::byte* bump PARCORE_GUARDED_BY(lock) = nullptr;
+    // bytes remaining in the current chunk
+    std::size_t bump_left PARCORE_GUARDED_BY(lock) = 0;
+    // geometric schedule (0 = unset)
+    std::size_t next_chunk_bytes PARCORE_GUARDED_BY(lock) = 0;
+    FreeNode* free_lists[kMaxClasses] PARCORE_GUARDED_BY(lock) = {};
+    std::size_t reserved_bytes PARCORE_GUARDED_BY(lock) = 0;
+    std::size_t freelist_bytes PARCORE_GUARDED_BY(lock) = 0;
+    std::size_t chunk_count PARCORE_GUARDED_BY(lock) = 0;
+    std::size_t jumbo_count PARCORE_GUARDED_BY(lock) = 0;
   };
 
   Options opts_;

@@ -23,7 +23,7 @@ OrderList& LevelDirectory::get_or_create(CoreValue k) {
   const auto idx = static_cast<std::size_t>(k);
   OrderList* list = slots_[idx].load(std::memory_order_acquire);
   if (list != nullptr) return *list;
-  std::lock_guard<std::mutex> g(create_mu_);
+  MutexGuard g(create_mu_);
   list = slots_[idx].load(std::memory_order_relaxed);
   if (list == nullptr) {
     storage_.emplace_back(k, group_capacity_);
@@ -34,6 +34,9 @@ OrderList& LevelDirectory::get_or_create(CoreValue k) {
 }
 
 void LevelDirectory::clear() {
+  // Quiescent by contract; the guard keeps storage_ inside the
+  // machine-checked discipline.
+  MutexGuard g(create_mu_);
   slots_.clear();
   storage_.clear();
 }

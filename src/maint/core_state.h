@@ -8,7 +8,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +15,8 @@
 #include "graph/dynamic_graph.h"
 #include "om/order_list.h"
 #include "support/types.h"
+#include "sync/annotations.h"
+#include "sync/mutex.h"
 #include "sync/spinlock.h"
 #include "sync/thread_team.h"
 
@@ -54,9 +55,13 @@ class LevelDirectory {
 
  private:
   std::uint32_t group_capacity_ = 64;
+  // Published pointers: reads are lock-free (acquire loads), so slots_
+  // itself is NOT guarded — only slot creation and the backing storage
+  // serialise on create_mu_. ensure_capacity()/clear() are quiescent-
+  // only by contract (no concurrent readers in flight).
   std::vector<std::atomic<OrderList*>> slots_;
-  std::mutex create_mu_;
-  std::deque<OrderList> storage_;  // stable addresses
+  Mutex create_mu_;
+  std::deque<OrderList> storage_ PARCORE_GUARDED_BY(create_mu_);
 };
 
 /// A serializable image of the order-based state: per-vertex core

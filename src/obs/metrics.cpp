@@ -1,17 +1,17 @@
 #include "obs/metrics.h"
 
-#include <cstdlib>
-#include <cstring>
+#include "support/env.h"
 
 namespace parcore::obs {
 
 namespace {
 
 bool env_says_off() {
-  const char* v = std::getenv("PARCORE_OBS");
-  if (v == nullptr || *v == '\0') return false;  // default: on
-  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-         std::strcmp(v, "false") == 0 || std::strcmp(v, "OFF") == 0;
+  // Via support/env: parcore_lint.py forbids raw getenv outside that
+  // module (and the durability fault shims).
+  const std::string v = env_str("PARCORE_OBS", "");
+  if (v.empty()) return false;  // default: on
+  return v == "0" || v == "off" || v == "false" || v == "OFF";
 }
 
 // -1 = uninitialised, 0 = off, 1 = on.
@@ -59,24 +59,24 @@ std::uint64_t Histogram::Snapshot::quantile_upper(double q) const {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexGuard lk(mu_);
   return counters_.get_or_create(name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexGuard lk(mu_);
   return gauges_.get_or_create(name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexGuard lk(mu_);
   return histograms_.get_or_create(name);
 }
 
 void MetricsRegistry::collect(std::vector<CounterRow>& counters,
                               std::vector<GaugeRow>& gauges,
                               std::vector<HistogramRow>& histograms) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexGuard lk(mu_);
   counters.clear();
   gauges.clear();
   histograms.clear();

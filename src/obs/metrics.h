@@ -29,10 +29,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "sync/annotations.h"
+#include "sync/mutex.h"
 
 namespace parcore::obs {
 
@@ -215,10 +217,10 @@ class MetricsRegistry {
     }
   };
 
-  mutable std::mutex mu_;
-  Family<Counter> counters_;
-  Family<Gauge> gauges_;
-  Family<Histogram> histograms_;
+  mutable Mutex mu_;
+  Family<Counter> counters_ PARCORE_GUARDED_BY(mu_);
+  Family<Gauge> gauges_ PARCORE_GUARDED_BY(mu_);
+  Family<Histogram> histograms_ PARCORE_GUARDED_BY(mu_);
 };
 
 /// The process-global registry every parcore layer reports into.

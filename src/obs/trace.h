@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sync/annotations.h"
 #include "sync/spinlock.h"
 
 namespace parcore::obs {
@@ -63,21 +64,22 @@ class FlushTrace {
   }
 
   void record(const FlushSpan& span) {
-    mu_.lock();
+    SpinGuard g(mu_);
     ring_[static_cast<std::size_t>(seq_ % cap_)] = span;
     ++seq_;
-    mu_.unlock();
   }
 
   /// The retained spans, oldest first (at most capacity()).
   std::vector<FlushSpan> snapshot() const {
     std::vector<FlushSpan> out;
-    mu_.lock();
+    // Allocate before taking the lock: growing the vector inside the
+    // critical section would stall writers (the engine's flush path)
+    // behind a heap allocation.
+    out.reserve(cap_);
+    SpinGuard g(mu_);
     const std::uint64_t kept = seq_ < cap_ ? seq_ : cap_;
-    out.reserve(static_cast<std::size_t>(kept));
     for (std::uint64_t i = seq_ - kept; i < seq_; ++i)
       out.push_back(ring_[static_cast<std::size_t>(i % cap_)]);
-    mu_.unlock();
     return out;
   }
 
@@ -85,17 +87,15 @@ class FlushTrace {
 
   /// Spans recorded since construction (>= capacity() once wrapped).
   std::uint64_t recorded() const {
-    mu_.lock();
-    const std::uint64_t s = seq_;
-    mu_.unlock();
-    return s;
+    SpinGuard g(mu_);
+    return seq_;
   }
 
  private:
   mutable Spinlock mu_;
-  std::vector<FlushSpan> ring_;
+  std::vector<FlushSpan> ring_ PARCORE_GUARDED_BY(mu_);
   std::size_t cap_;
-  std::uint64_t seq_ = 0;  // guarded by mu_
+  std::uint64_t seq_ PARCORE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace parcore::obs

@@ -40,13 +40,13 @@ OrderList::~OrderList() {
     delete g;
     g = next;
   }
-  for (OmGroup* q : quarantine_) delete q;
+  SpinGuard q(quarantine_lock_);
+  for (OmGroup* qg : quarantine_) delete qg;
 }
 
 void OrderList::quarantine(OmGroup* g) {
-  quarantine_lock_.lock();
+  SpinGuard q(quarantine_lock_);
   quarantine_.push_back(g);
-  quarantine_lock_.unlock();
 }
 
 OmGroup* OrderList::lock_group_of(const OmItem* x) {
@@ -349,8 +349,11 @@ std::size_t OrderList::compact() {
     }
     g = nxt;
   }
+  // Quiescent, but the guard keeps the quarantine accesses inside the
+  // machine-checked discipline (and costs one uncontended CAS).
+  SpinGuard q(quarantine_lock_);
   reclaimed += quarantine_.size();
-  for (OmGroup* q : quarantine_) delete q;
+  for (OmGroup* qg : quarantine_) delete qg;
   quarantine_.clear();
   return reclaimed;
 }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "support/types.h"
+#include "sync/annotations.h"
 #include "sync/spinlock.h"
 
 namespace parcore {
@@ -102,8 +103,10 @@ class OrderList {
   void insert_tail(OmItem* item) { insert_before(&tail_anchor_, item); }
 
   /// Unlinks `item` from this list; its label/group become stale but the
-  /// group memory stays valid for concurrent readers.
-  void remove(OmItem* item);
+  /// group memory stays valid for concurrent readers. (Exempt from the
+  /// analysis: releases the lock lock_group_of acquired — see the note
+  /// on the private walk routines below.)
+  void remove(OmItem* item) PARCORE_NO_THREAD_SAFETY_ANALYSIS;
 
   // -- queries (lock-free) ----------------------------------------------
 
@@ -152,24 +155,35 @@ class OrderList {
   static constexpr std::uint64_t kTopMax = 1ULL << 62;
   static constexpr std::uint64_t kBottomMax = 1ULL << 62;
 
+  // The five routines below move lock ownership across dynamically
+  // chosen groups (lock_group_of returns its result LOCKED,
+  // insert_between releases a caller-held lock, relabel_or_split /
+  // make_top_room_after walk group locks strictly forward). Clang's
+  // analysis has no alias tracking for `g->lock` as g is reassigned, so
+  // they carry PARCORE_NO_THREAD_SAFETY_ANALYSIS; the manual discipline
+  // in force is the forward-only acquisition order documented at the
+  // top of this file (docs/STATIC_ANALYSIS.md §exemptions).
+
   void insert_before(OmItem* z, OmItem* item);
   /// Shared insert core: places item between (pred, succ) inside g where
   /// either may be null (group boundary). Caller holds g's lock; this
   /// routine releases it.
-  void insert_between(OmGroup* g, OmItem* pred, OmItem* succ, OmItem* item);
+  void insert_between(OmGroup* g, OmItem* pred, OmItem* succ, OmItem* item)
+      PARCORE_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Locks the group currently containing x (retrying across moves).
-  OmGroup* lock_group_of(const OmItem* x);
+  OmGroup* lock_group_of(const OmItem* x) PARCORE_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Redistributes bottom labels of g, splitting first when over
   /// capacity; bumps the relabel counters. Caller holds g's lock and
   /// retains it on return; the new group (if any) is returned LOCKED.
-  OmGroup* relabel_or_split(OmGroup* g);
+  OmGroup* relabel_or_split(OmGroup* g) PARCORE_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Makes top-label space after g (rebalance walk of §3.4); returns the
   /// label for a new group to be inserted right after g. Caller holds
   /// g's lock; called inside a relabel window.
-  std::uint64_t make_top_room_after(OmGroup* g);
+  std::uint64_t make_top_room_after(OmGroup* g)
+      PARCORE_NO_THREAD_SAFETY_ANALYSIS;
 
   void bump_start() {
     relabel_started_.fetch_add(1, std::memory_order_acq_rel);
@@ -192,7 +206,7 @@ class OrderList {
   std::atomic<std::size_t> size_{0};
 
   Spinlock quarantine_lock_;
-  std::vector<OmGroup*> quarantine_;
+  std::vector<OmGroup*> quarantine_ PARCORE_GUARDED_BY(quarantine_lock_);
 };
 
 }  // namespace parcore

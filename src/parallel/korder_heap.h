@@ -14,6 +14,7 @@
 
 #include "maint/core_state.h"
 #include "om/order_list.h"
+#include "sync/annotations.h"
 #include "support/types.h"
 #include "support/vertex_set.h"
 
@@ -33,8 +34,10 @@ class KOrderHeap {
 
   /// Algorithm 11: pops vertices in k-order; returns the first vertex
   /// successfully locked with core == k (caller owns the lock), or
-  /// kInvalidVertex when the queue is exhausted.
-  VertexId dequeue(CoreValue k);
+  /// kInvalidVertex when the queue is exhausted. Returns while holding
+  /// a dynamically chosen per-vertex lock — exempt from the analysis
+  /// (docs/STATIC_ANALYSIS.md §exemptions).
+  VertexId dequeue(CoreValue k) PARCORE_NO_THREAD_SAFETY_ANALYSIS;
 
   bool contains(VertexId v) const { return inq_.contains(v); }
 

@@ -1,0 +1,61 @@
+// Clang Thread Safety Analysis attribute macros (no-ops elsewhere).
+//
+// These wrap the capability-based TSA vocabulary so the lock discipline
+// the paper hand-enforces — conditional `lock_if` (Algorithm 4),
+// no-hold-and-wait `lock_pair` (§4.1.2), per-structure guard fields —
+// becomes a compile-time property under `clang -Wthread-safety`.
+// docs/STATIC_ANALYSIS.md is the project-level guide: what each macro
+// means, how to read an analysis error, and when an exemption
+// (PARCORE_NO_THREAD_SAFETY_ANALYSIS) is legitimate.
+//
+// Vocabulary map (clang attribute -> macro):
+//   capability(x)              PARCORE_CAPABILITY(x)      lock types
+//   scoped_lockable            PARCORE_SCOPED_CAPABILITY  RAII guards
+//   guarded_by(l)              PARCORE_GUARDED_BY(l)      data fields
+//   pt_guarded_by(l)           PARCORE_PT_GUARDED_BY(l)   pointee data
+//   requires_capability(l...)  PARCORE_REQUIRES(l...)     caller holds l
+//   acquire_capability(l...)   PARCORE_ACQUIRE(l...)      fn acquires l
+//   release_capability(l...)   PARCORE_RELEASE(l...)      fn releases l
+//   try_acquire_capability     PARCORE_TRY_ACQUIRE(b,l..) conditional
+//   locks_excluded(l...)       PARCORE_EXCLUDES(l...)     caller must NOT hold
+//   assert_capability(l)       PARCORE_ASSERT_CAPABILITY(l)
+//   lock_returned(l)           PARCORE_RETURN_CAPABILITY(l)
+//   acquired_before/after      PARCORE_ACQUIRED_{BEFORE,AFTER}(l...)
+//   no_thread_safety_analysis  PARCORE_NO_THREAD_SAFETY_ANALYSIS
+//
+// The analysis is purely syntactic — no alias tracking — so code that
+// re-points a lock expression (hand-over-hand group walks in
+// om/order_list.cpp, per-vertex lock arrays in src/parallel) carries
+// PARCORE_NO_THREAD_SAFETY_ANALYSIS plus a comment naming the manual
+// discipline that is in force. tools/parcore_lint.py budgets those
+// exemptions.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define PARCORE_TSA(x) __attribute__((x))
+#else
+#define PARCORE_TSA(x)  // no-op: GCC/MSVC parse the code, clang checks it
+#endif
+
+#define PARCORE_CAPABILITY(x) PARCORE_TSA(capability(x))
+#define PARCORE_SCOPED_CAPABILITY PARCORE_TSA(scoped_lockable)
+#define PARCORE_GUARDED_BY(x) PARCORE_TSA(guarded_by(x))
+#define PARCORE_PT_GUARDED_BY(x) PARCORE_TSA(pt_guarded_by(x))
+#define PARCORE_ACQUIRED_BEFORE(...) PARCORE_TSA(acquired_before(__VA_ARGS__))
+#define PARCORE_ACQUIRED_AFTER(...) PARCORE_TSA(acquired_after(__VA_ARGS__))
+#define PARCORE_REQUIRES(...) PARCORE_TSA(requires_capability(__VA_ARGS__))
+#define PARCORE_REQUIRES_SHARED(...) \
+  PARCORE_TSA(requires_shared_capability(__VA_ARGS__))
+#define PARCORE_ACQUIRE(...) PARCORE_TSA(acquire_capability(__VA_ARGS__))
+#define PARCORE_ACQUIRE_SHARED(...) \
+  PARCORE_TSA(acquire_shared_capability(__VA_ARGS__))
+#define PARCORE_RELEASE(...) PARCORE_TSA(release_capability(__VA_ARGS__))
+#define PARCORE_RELEASE_SHARED(...) \
+  PARCORE_TSA(release_shared_capability(__VA_ARGS__))
+#define PARCORE_TRY_ACQUIRE(...) \
+  PARCORE_TSA(try_acquire_capability(__VA_ARGS__))
+#define PARCORE_EXCLUDES(...) PARCORE_TSA(locks_excluded(__VA_ARGS__))
+#define PARCORE_ASSERT_CAPABILITY(x) PARCORE_TSA(assert_capability(x))
+#define PARCORE_RETURN_CAPABILITY(x) PARCORE_TSA(lock_returned(x))
+#define PARCORE_NO_THREAD_SAFETY_ANALYSIS \
+  PARCORE_TSA(no_thread_safety_analysis)

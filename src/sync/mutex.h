@@ -1,0 +1,101 @@
+// Capability-annotated wrappers over std::mutex / condition variables.
+//
+// libstdc++'s std::mutex carries no thread-safety attributes, so code
+// guarded by one is invisible to clang's analysis. Mutex is a drop-in
+// replacement that declares itself a capability; MutexGuard is the RAII
+// scope (std::lock_guard equivalent, plus an adopt form for the
+// try-lock idiom); CondVar wraps std::condition_variable_any so waits
+// can be expressed directly against a Mutex while the capability stays
+// held across the wait in the analysis' eyes.
+//
+// Try-lock idiom (see StreamingEngine::stats): scoped try-locks join
+// poorly in older clangs, so the supported shape is
+//
+//   if (mu_.try_lock()) {
+//     MutexGuard lk(mu_, kAdoptLock);  // takes over the held capability
+//     ...
+//   }
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "sync/annotations.h"
+
+namespace parcore {
+
+/// Tag type selecting the adopt-an-already-held-lock guard constructors
+/// (our std::adopt_lock: the capability must be held on entry and the
+/// guard takes over releasing it).
+struct AdoptLock {
+  explicit AdoptLock() = default;
+};
+inline constexpr AdoptLock kAdoptLock{};
+
+class PARCORE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PARCORE_ACQUIRE() { mu_.lock(); }
+  bool try_lock() PARCORE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() PARCORE_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a Mutex, visible to the analysis.
+class PARCORE_SCOPED_CAPABILITY MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& mu) PARCORE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  /// Adopts a capability the caller already holds (e.g. via try_lock).
+  MutexGuard(Mutex& mu, AdoptLock) PARCORE_REQUIRES(mu) : mu_(mu) {}
+  ~MutexGuard() PARCORE_RELEASE() { mu_.unlock(); }
+
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with Mutex. Waits REQUIRE the mutex: it is
+/// held on entry, released for the duration of the block, and re-held
+/// on return — exactly the contract the annotation states, since the
+/// intermediate unlock/lock happen inside the (unannotated) standard
+/// library. Callers loop on their predicate explicitly rather than
+/// passing a lambda: TSA analyses lambda bodies as lock-free functions,
+/// so a predicate reading guarded fields would falsely warn.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) PARCORE_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          std::chrono::duration<Rep, Period> timeout)
+      PARCORE_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            std::chrono::time_point<Clock, Duration> deadline)
+      PARCORE_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace parcore

@@ -4,14 +4,15 @@
 // producers `notify()` when the ingest buffer crosses the size
 // threshold, and the wait times out at the flush interval so buffered
 // updates never go stale. A stop request wins over both. This is a
-// plain mutex + condition_variable — the scheduler sleeps for
+// plain mutex + condition variable — the scheduler sleeps for
 // milliseconds at a time, so the spin-based primitives in spinlock.h
 // are the wrong tool here.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
+
+#include "sync/annotations.h"
+#include "sync/mutex.h"
 
 namespace parcore {
 
@@ -20,7 +21,7 @@ class Notifier {
   /// Wakes one waiter (cheap; callable from any producer thread).
   void notify() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexGuard lk(mu_);
       signalled_ = true;
     }
     cv_.notify_one();
@@ -31,7 +32,7 @@ class Notifier {
   /// notify() would wake one and leave the rest for the timeout.
   void notify_all() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexGuard lk(mu_);
       signalled_ = true;
     }
     cv_.notify_all();
@@ -41,7 +42,7 @@ class Notifier {
   /// can serve a restarted service thread. Call only while no thread is
   /// waiting.
   void reset() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexGuard lk(mu_);
     stop_ = false;
     signalled_ = false;
   }
@@ -49,14 +50,14 @@ class Notifier {
   /// Requests shutdown; all current and future waits return immediately.
   void request_stop() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexGuard lk(mu_);
       stop_ = true;
     }
     cv_.notify_all();
   }
 
   bool stop_requested() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexGuard lk(mu_);
     return stop_;
   }
 
@@ -65,18 +66,24 @@ class Notifier {
   /// now), false on a plain timeout. Consumes the pending signal.
   template <typename Rep, typename Period>
   bool wait_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lk(mu_);
-    const bool signalled = cv_.wait_for(
-        lk, timeout, [&] { return signalled_ || stop_; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexGuard lk(mu_);
+    // Explicit predicate loop (not a wait(lambda)): the analysis treats
+    // lambda bodies as lock-free contexts, while here every read of the
+    // guarded flags happens visibly under mu_.
+    while (!signalled_ && !stop_) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+    }
+    const bool signalled = signalled_ || stop_;
     signalled_ = false;
     return signalled;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool signalled_ = false;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool signalled_ PARCORE_GUARDED_BY(mu_) = false;
+  bool stop_ PARCORE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace parcore

@@ -20,7 +20,7 @@ ThreadTeam::ThreadTeam(int max_workers) {
 
 ThreadTeam::~ThreadTeam() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -32,17 +32,16 @@ void ThreadTeam::worker_loop(int index) {
   for (;;) {
     const std::function<void(int)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> g(mu_);
-      start_cv_.wait(g, [&] {
-        return shutdown_ || (generation_ != seen && index < active_);
-      });
+      MutexGuard g(mu_);
+      while (!shutdown_ && !(generation_ != seen && index < active_))
+        start_cv_.wait(mu_);
       if (shutdown_) return;
       seen = generation_;
       task = task_;
     }
     (*task)(index);
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexGuard g(mu_);
       if (--remaining_ == 0) done_cv_.notify_all();
     }
   }
@@ -55,7 +54,7 @@ void ThreadTeam::run(int workers, const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     task_ = &fn;
     active_ = workers;
     remaining_ = workers - 1;  // helpers; worker 0 is this thread
@@ -64,8 +63,8 @@ void ThreadTeam::run(int workers, const std::function<void(int)>& fn) {
   start_cv_.notify_all();
   fn(0);
   {
-    std::unique_lock<std::mutex> g(mu_);
-    done_cv_.wait(g, [&] { return remaining_ == 0; });
+    MutexGuard g(mu_);
+    while (remaining_ != 0) done_cv_.wait(mu_);
     task_ = nullptr;
     active_ = 0;
   }

@@ -4,12 +4,14 @@
 // the millisecond-scale measurements of the evaluation.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sync/annotations.h"
+#include "sync/mutex.h"
 
 namespace parcore {
 
@@ -36,14 +38,16 @@ class ThreadTeam {
   void worker_loop(int index);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* task_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int active_ = 0;       // workers participating in current generation
-  int remaining_ = 0;    // workers not yet finished
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* task_ PARCORE_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ PARCORE_GUARDED_BY(mu_) = 0;
+  // workers participating in the current generation
+  int active_ PARCORE_GUARDED_BY(mu_) = 0;
+  // workers not yet finished
+  int remaining_ PARCORE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ PARCORE_GUARDED_BY(mu_) = false;
 };
 
 /// Dynamic-chunk parallel for over [begin, end).

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <random>
 #include <thread>
 #include <vector>
 
+#include "sync/mutex.h"
+#include "sync/notify.h"
 #include "sync/spinlock.h"
 #include "sync/thread_team.h"
 
@@ -59,6 +63,91 @@ TEST(ConditionalLock, ReleasesWhenConditionDropsAfterAcquire) {
   EXPECT_FALSE(lock.is_locked());
 }
 
+TEST(SpinGuard, ReleasesOnScopeExit) {
+  Spinlock lock;
+  {
+    SpinGuard g(lock);
+    EXPECT_TRUE(lock.is_locked());
+  }
+  EXPECT_FALSE(lock.is_locked());
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinGuard, AdoptsTryLockedCapability) {
+  // The sanctioned try-lock idiom: probe with try_lock(), hand the
+  // held capability to an adopting guard (sync/mutex.h).
+  Spinlock lock;
+  ASSERT_TRUE(lock.try_lock());
+  {
+    SpinGuard g(lock, kAdoptLock);
+    EXPECT_TRUE(lock.is_locked());
+  }
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(SpinGuard, MutualExclusionCounter) {
+  Spinlock lock;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinGuard g(lock);
+        ++counter;
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(MutexGuard, ReleasesOnScopeExitAndAdopts) {
+  Mutex mu;
+  {
+    MutexGuard g(mu);
+  }
+  ASSERT_TRUE(mu.try_lock());
+  {
+    MutexGuard g(mu, kAdoptLock);  // releases in its destructor
+  }
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(CondVar, ExplicitPredicateLoopWakes) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexGuard g(mu);
+    while (!ready) cv.wait(mu);
+  });
+  {
+    MutexGuard g(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+}
+
+TEST(ConditionalLock, ConditionFlipBetweenProbeAndRecheckLeavesLockFree) {
+  // The edge lock_if exists for: the condition held when the wait
+  // began, the CAS succeeded, and the re-check under the lock sees the
+  // condition gone (another thread moved the vertex). lock_if must
+  // report failure AND leave the lock released — a leaked hold here
+  // deadlocks the next locker. Flip the condition exactly at the
+  // re-check call (call 2: first call is the pre-wait probe, second is
+  // the post-acquire validation).
+  Spinlock lock;
+  int calls = 0;
+  EXPECT_FALSE(lock_if(lock, [&] { return ++calls != 2; }));
+  EXPECT_EQ(calls, 2);
+  EXPECT_FALSE(lock.is_locked());
+  // The lock must be immediately reusable.
+  EXPECT_TRUE(lock_if(lock, [] { return true; }));
+  lock.unlock();
+}
+
 TEST(ConditionalLock, StopsWaitingWhenConditionChanges) {
   // A thread busy-waits on a held lock; the condition flipping to false
   // must end the wait even though the lock stays held.
@@ -100,6 +189,51 @@ TEST(PairLock, AcquiresBothUnderContention) {
   t1.join();
   t2.join();
   EXPECT_EQ(counter, 40000);
+}
+
+TEST(PairLock, LivelockFreedomUnderRandomPairContention) {
+  // Livelock smoke for lock_pair's retry loop: 8 threads hammer random
+  // (often overlapping, often reversed) pairs from a small lock pool.
+  // The acquire-one/try-the-other protocol must keep making global
+  // progress — the test completing at all (within the suite timeout)
+  // is the property; the counter cross-checks mutual exclusion.
+  constexpr int kLocks = 4;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  Spinlock locks[kLocks];
+  long counters[kLocks] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(t));
+      std::uniform_int_distribution<int> pick(0, kLocks - 1);
+      for (int i = 0; i < kIters; ++i) {
+        const int a = pick(rng);
+        int b = pick(rng);
+        while (b == a) b = pick(rng);
+        lock_pair(locks[a], locks[b]);
+        ++counters[a];
+        ++counters[b];
+        locks[b].unlock();
+        locks[a].unlock();
+      }
+    });
+  for (auto& th : threads) th.join();
+  long total = 0;
+  for (long c : counters) total += c;
+  EXPECT_EQ(total, static_cast<long>(kThreads) * kIters * 2);
+}
+
+TEST(Notifier, WaitForReturnsSignalledAndTimesOutClean) {
+  Notifier n;
+  // Pre-signalled: returns true immediately and consumes the signal.
+  n.notify();
+  EXPECT_TRUE(n.wait_for(std::chrono::duration<double, std::milli>(50.0)));
+  // Nothing pending: times out false.
+  EXPECT_FALSE(n.wait_for(std::chrono::duration<double, std::milli>(1.0)));
+  // Stop requested: wakes true without a notify.
+  n.request_stop();
+  EXPECT_TRUE(n.wait_for(std::chrono::duration<double, std::milli>(50.0)));
 }
 
 TEST(TicketLock, MutualExclusion) {

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Negative-compilation driver for the thread-safety annotation layer.
+
+Every *.cpp in this directory is compiled with
+    <clang++> -std=c++20 -fsyntax-only -Wthread-safety -Werror -I <src>
+
+Files named clean_* are CONTROLS: they must compile with zero
+diagnostics (a warning there means the annotation layer produces false
+positives). Every other TU is a seeded concurrency bug that MUST be
+rejected with a thread-safety diagnostic — if one compiles, the
+analysis has been silently disabled (e.g. someone stubbed the macros
+under clang) and this gate is the only thing that notices.
+
+Usage: check_negative.py <clang++> <src-include-dir> [tu-dir]
+Exit:  0 all TUs behave as asserted, 1 otherwise, 2 usage error.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+
+def compile_tu(cxx: str, src_include: str, tu: pathlib.Path):
+    cmd = [
+        cxx, "-std=c++20", "-fsyntax-only",
+        "-Wthread-safety", "-Werror",
+        "-I", src_include, str(tu),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cxx, src_include = sys.argv[1], sys.argv[2]
+    tu_dir = pathlib.Path(sys.argv[3]) if len(sys.argv) > 3 else \
+        pathlib.Path(__file__).resolve().parent
+
+    failures = []
+    tus = sorted(tu_dir.glob("*.cpp"))
+    if not tus:
+        print(f"no TUs found in {tu_dir}", file=sys.stderr)
+        return 2
+
+    for tu in tus:
+        rc, stderr = compile_tu(cxx, src_include, tu)
+        is_control = tu.name.startswith("clean_")
+        if is_control:
+            if rc != 0:
+                failures.append(
+                    f"{tu.name}: control TU must compile cleanly but "
+                    f"failed:\n{stderr}"
+                )
+            else:
+                print(f"  ok (compiles)   {tu.name}")
+        else:
+            if rc == 0:
+                failures.append(
+                    f"{tu.name}: seeded bug COMPILED — the thread-safety "
+                    "analysis is not rejecting what it must (macros "
+                    "stubbed? -Wthread-safety dropped?)"
+                )
+            elif "thread-safety" not in stderr and "Thread safety" not in stderr:
+                failures.append(
+                    f"{tu.name}: rejected, but not by the thread-safety "
+                    f"analysis — unexpected diagnostic:\n{stderr}"
+                )
+            else:
+                print(f"  ok (rejected)   {tu.name}")
+
+    if failures:
+        print("\nthread_safety_negative FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"thread_safety_negative: {len(tus)} TUs behave as asserted")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+// CONTROL TU: must COMPILE CLEANLY under -Wthread-safety -Werror.
+// Exercises every sanctioned idiom of the locking discipline — if this
+// file warns, the annotation layer itself regressed (a false positive
+// crept into the macros or the sync primitives), which would force
+// NOLINTs across the tree. The driver asserts clang accepts it.
+#include "sync/annotations.h"
+#include "sync/mutex.h"
+#include "sync/spinlock.h"
+
+namespace {
+
+class Everything {
+ public:
+  // RAII guard, the default idiom.
+  void guarded_increment() {
+    parcore::SpinGuard g(spin_);
+    ++spin_value_;
+  }
+
+  // REQUIRES callee invoked under the caller's guard.
+  void locked_increment() PARCORE_REQUIRES(mu_) { ++mu_value_; }
+  void call_through() {
+    parcore::MutexGuard g(mu_);
+    locked_increment();
+  }
+
+  // Adopt-guard try-lock idiom (sync/mutex.h).
+  bool try_increment() {
+    if (mu_.try_lock()) {
+      parcore::MutexGuard g(mu_, parcore::kAdoptLock);
+      ++mu_value_;
+      return true;
+    }
+    return false;
+  }
+
+  // Conditional spinlock acquisition via the annotated lock_if shim.
+  bool conditional_increment() {
+    if (parcore::lock_if(spin_, [] { return true; })) {
+      parcore::SpinGuard g(spin_, parcore::kAdoptLock);
+      ++spin_value_;
+      return true;
+    }
+    return false;
+  }
+
+  // Two-lock ordered acquisition via the annotated lock_pair shim,
+  // released through adopting guards.
+  void pair_increment(Everything& other) {
+    parcore::lock_pair(spin_, other.spin_);
+    parcore::SpinGuard a(spin_, parcore::kAdoptLock);
+    parcore::SpinGuard b(other.spin_, parcore::kAdoptLock);
+    ++spin_value_;
+    ++other.spin_value_;
+  }
+
+  // CondVar wait with the explicit predicate loop (lambda predicates
+  // defeat the analysis; see sync/mutex.h).
+  void wait_ready() {
+    parcore::MutexGuard g(mu_);
+    while (!ready_) cv_.wait(mu_);
+  }
+  void set_ready() {
+    {
+      parcore::MutexGuard g(mu_);
+      ready_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  parcore::Spinlock spin_;
+  long spin_value_ PARCORE_GUARDED_BY(spin_) = 0;
+  parcore::Mutex mu_;
+  parcore::CondVar cv_;
+  long mu_value_ PARCORE_GUARDED_BY(mu_) = 0;
+  bool ready_ PARCORE_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Everything a, b;
+  a.guarded_increment();
+  a.call_through();
+  a.try_increment();
+  a.conditional_increment();
+  a.pair_increment(b);
+  a.set_ready();
+  a.wait_ready();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// NEGATIVE TU: must FAIL to compile under -Wthread-safety -Werror.
+// Acquires the same non-reentrant capability twice — with the project
+// Spinlock this is a guaranteed self-deadlock (the second lock() spins
+// forever on a flag this thread owns).
+#include "sync/annotations.h"
+#include "sync/spinlock.h"
+
+namespace {
+
+parcore::Spinlock mu;
+
+void relock() {
+  parcore::SpinGuard outer(mu);
+  parcore::SpinGuard inner(mu);  // BUG: mu already held
+}
+
+}  // namespace
+
+int main() {
+  relock();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// NEGATIVE TU: must FAIL to compile under -Wthread-safety -Werror.
+// Touches a PARCORE_GUARDED_BY field without holding its capability —
+// the exact bug class the annotation sweep exists to make impossible.
+// The driver (check_negative.py) asserts clang rejects this file; if it
+// ever compiles, the annotation layer has been broken (e.g. the macros
+// were stubbed out under clang) and the gate must fail.
+#include "sync/annotations.h"
+#include "sync/spinlock.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unguarded() { ++value_; }  // BUG: no lock held
+
+ private:
+  parcore::Spinlock mu_;
+  long value_ PARCORE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unguarded();
+  return 0;
+}

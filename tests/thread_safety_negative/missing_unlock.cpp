@@ -1,0 +1,20 @@
+// NEGATIVE TU: must FAIL to compile under -Wthread-safety -Werror.
+// Acquires a capability and returns without releasing it. Clang flags
+// this as "mutex is still held at the end of function" — the leak the
+// RAII-guard conversion (SpinGuard/MutexGuard) rules out by shape.
+#include "sync/annotations.h"
+#include "sync/spinlock.h"
+
+namespace {
+
+parcore::Spinlock mu;
+int shared_value PARCORE_GUARDED_BY(mu) = 0;
+
+int read_and_leak() {
+  mu.lock();
+  return shared_value;  // BUG: returns with mu held
+}
+
+}  // namespace
+
+int main() { return read_and_leak(); }

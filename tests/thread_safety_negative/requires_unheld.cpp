@@ -1,0 +1,26 @@
+// NEGATIVE TU: must FAIL to compile under -Wthread-safety -Werror.
+// Calls a PARCORE_REQUIRES function without holding the named lock —
+// the contract violation the engine's flush_locked()/durable_io()/
+// make_checkpoint() annotations exist to catch at compile time.
+#include "sync/annotations.h"
+#include "sync/mutex.h"
+
+namespace {
+
+class Engine {
+ public:
+  void flush_locked() PARCORE_REQUIRES(mu_) { ++epoch_; }
+  void oops() { flush_locked(); }  // BUG: mu_ not held
+
+ private:
+  parcore::Mutex mu_;
+  long epoch_ PARCORE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Engine e;
+  e.oops();
+  return 0;
+}
